@@ -1,0 +1,242 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (§8) at a reduced-but-representative scale. Each benchmark
+// reports the simulated runtime ("cycles") and traffic ("bytes/miss") as
+// custom metrics, so `go test -bench=. -benchmem` produces the same rows
+// and series the paper plots. cmd/experiments runs the full-scale
+// sweeps; EXPERIMENTS.md records paper-vs-measured values.
+package patch
+
+import (
+	"fmt"
+	"testing"
+
+	"patch/internal/interconnect"
+	"patch/internal/predictor"
+	"patch/internal/sim"
+)
+
+// benchCores keeps benchmark iterations affordable while preserving the
+// sharing behaviour (one consolidation domain).
+const benchCores = 16
+
+// runSim executes one simulation per iteration (varying the seed) and
+// reports simulated cycles and bytes/miss.
+func runSim(b *testing.B, cfg sim.Config) {
+	b.Helper()
+	var cycles, bpm float64
+	for i := 0; i < b.N; i++ {
+		c := cfg
+		c.Seed = int64(i + 1)
+		c.SkipChecks = true
+		r, err := sim.Run(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles += float64(r.Cycles)
+		bpm += r.BytesPerMiss
+	}
+	b.ReportMetric(cycles/float64(b.N), "cycles")
+	b.ReportMetric(bpm/float64(b.N), "bytes/miss")
+}
+
+func figureConfig(wl string) sim.Config {
+	return sim.Config{
+		Cores: benchCores, OpsPerCore: 300, WarmupOps: 900, Workload: wl,
+	}
+}
+
+func variantCfg(base sim.Config, name string) sim.Config {
+	switch name {
+	case "Directory":
+		base.Protocol = sim.Directory
+	case "PATCH-None":
+		base.Protocol = sim.PATCH
+		base.Policy = predictor.None
+		base.BestEffort = true
+	case "PATCH-Owner":
+		base.Protocol = sim.PATCH
+		base.Policy = predictor.Owner
+		base.BestEffort = true
+	case "BcastIfShared":
+		base.Protocol = sim.PATCH
+		base.Policy = predictor.BroadcastIfShared
+		base.BestEffort = true
+	case "PATCH-All":
+		base.Protocol = sim.PATCH
+		base.Policy = predictor.All
+		base.BestEffort = true
+	case "PATCH-All-NA":
+		base.Protocol = sim.PATCH
+		base.Policy = predictor.All
+		base.BestEffort = false
+	case "TokenB":
+		base.Protocol = sim.TokenB
+	}
+	return base
+}
+
+// BenchmarkFig4 regenerates Figure 4's runtime grid (and Figure 5's
+// traffic, reported as bytes/miss) — every workload x configuration.
+func BenchmarkFig4(b *testing.B) {
+	for _, wl := range []string{"jbb", "oltp", "apache", "barnes", "ocean"} {
+		for _, v := range []string{"Directory", "PATCH-None", "PATCH-Owner", "BcastIfShared", "PATCH-All", "TokenB"} {
+			b.Run(fmt.Sprintf("%s/%s", wl, v), func(b *testing.B) {
+				runSim(b, variantCfg(figureConfig(wl), v))
+			})
+		}
+	}
+}
+
+// BenchmarkFig5Traffic isolates the traffic comparison of Figure 5 on
+// the paper's most direct-request-sensitive workload.
+func BenchmarkFig5Traffic(b *testing.B) {
+	for _, v := range []string{"Directory", "PATCH-None", "PATCH-All", "TokenB"} {
+		b.Run(v, func(b *testing.B) {
+			runSim(b, variantCfg(figureConfig("oltp"), v))
+		})
+	}
+}
+
+func bandwidthCfg(wl string, bw int, v string) sim.Config {
+	cfg := variantCfg(figureConfig(wl), v)
+	cfg.Net = interconnect.DefaultConfig()
+	cfg.Net.BytesPerKiloCycle = bw
+	return cfg
+}
+
+// BenchmarkFig6 sweeps link bandwidth on ocean: Directory vs
+// PATCH-All-NonAdaptive vs best-effort PATCH-All.
+func BenchmarkFig6(b *testing.B) {
+	for _, bw := range []int{300, 900, 2000, 8000} {
+		for _, v := range []string{"Directory", "PATCH-All-NA", "PATCH-All"} {
+			b.Run(fmt.Sprintf("bw%d/%s", bw, v), func(b *testing.B) {
+				runSim(b, bandwidthCfg("ocean", bw, v))
+			})
+		}
+	}
+}
+
+// BenchmarkFig7 is the same sweep on jbb.
+func BenchmarkFig7(b *testing.B) {
+	for _, bw := range []int{300, 900, 2000, 8000} {
+		for _, v := range []string{"Directory", "PATCH-All-NA", "PATCH-All"} {
+			b.Run(fmt.Sprintf("bw%d/%s", bw, v), func(b *testing.B) {
+				runSim(b, bandwidthCfg("jbb", bw, v))
+			})
+		}
+	}
+}
+
+// BenchmarkFig8 regenerates the scalability series: the microbenchmark
+// on growing systems with 2-byte/cycle links.
+func BenchmarkFig8(b *testing.B) {
+	for _, cores := range []int{4, 16, 64, 128} {
+		for _, v := range []string{"Directory", "PATCH-All-NA", "PATCH-All"} {
+			b.Run(fmt.Sprintf("cores%d/%s", cores, v), func(b *testing.B) {
+				ops := 6400 / cores
+				if ops < 50 {
+					ops = 50
+				}
+				cfg := variantCfg(sim.Config{
+					Cores: cores, OpsPerCore: ops, WarmupOps: ops, Workload: "micro",
+				}, v)
+				cfg.Net = interconnect.DefaultConfig()
+				cfg.Net.BytesPerKiloCycle = 2000
+				runSim(b, cfg)
+			})
+		}
+	}
+}
+
+// BenchmarkFig9 regenerates the inexact-encoding runtime comparison
+// (Figure 9) and, through the bytes/miss metric, Figure 10's traffic.
+func BenchmarkFig9(b *testing.B) {
+	for _, kind := range []sim.Kind{sim.Directory, sim.PATCH} {
+		for _, k := range []int{1, 4, 16} {
+			b.Run(fmt.Sprintf("%v/K%d", kind, k), func(b *testing.B) {
+				cfg := sim.Config{
+					Protocol: kind, Cores: benchCores, OpsPerCore: 300, WarmupOps: 600,
+					Workload: "micro", Coarseness: k,
+				}
+				if kind == sim.PATCH {
+					cfg.Policy = predictor.None
+					cfg.BestEffort = true
+				}
+				cfg.Net = interconnect.DefaultConfig()
+				cfg.Net.BytesPerKiloCycle = 2000
+				runSim(b, cfg)
+			})
+		}
+	}
+}
+
+// BenchmarkFig10Traffic is the unbounded-bandwidth companion of Fig9,
+// isolating pure traffic effects.
+func BenchmarkFig10Traffic(b *testing.B) {
+	for _, kind := range []sim.Kind{sim.Directory, sim.PATCH} {
+		b.Run(fmt.Sprintf("%v/K16", kind), func(b *testing.B) {
+			cfg := sim.Config{
+				Protocol: kind, Cores: benchCores, OpsPerCore: 300, WarmupOps: 600,
+				Workload: "micro", Coarseness: 16,
+				Net: interconnect.Config{Unbounded: true, HopLatency: 3, RouteOverhead: 3, DropAfter: 100},
+			}
+			if kind == sim.PATCH {
+				cfg.Policy = predictor.None
+				cfg.BestEffort = true
+			}
+			runSim(b, cfg)
+		})
+	}
+}
+
+// BenchmarkAblationTenureTimeout sweeps the probationary-period factor
+// (the paper fixes it at 2x the average round trip; DESIGN.md §5.2).
+func BenchmarkAblationTenureTimeout(b *testing.B) {
+	for _, factor := range []float64{0.5, 1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("factor%.1f", factor), func(b *testing.B) {
+			cfg := variantCfg(figureConfig("oltp"), "PATCH-All")
+			cfg.TenureTimeoutFactor = factor
+			runSim(b, cfg)
+		})
+	}
+}
+
+// BenchmarkAblationDeactWindow measures the post-deactivation
+// direct-request ignore window (§5.2's racing-request mitigation).
+func BenchmarkAblationDeactWindow(b *testing.B) {
+	for _, disabled := range []bool{false, true} {
+		name := "window-on"
+		if disabled {
+			name = "window-off"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := variantCfg(figureConfig("oltp"), "PATCH-All")
+			cfg.NoDeactWindow = disabled
+			runSim(b, cfg)
+		})
+	}
+}
+
+// BenchmarkAblationLinkModel compares the default contention model with
+// unbounded links, bounding the cost of the link-walk approximation.
+func BenchmarkAblationLinkModel(b *testing.B) {
+	for _, unbounded := range []bool{false, true} {
+		name := "contention"
+		if unbounded {
+			name = "unbounded"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := variantCfg(figureConfig("oltp"), "PATCH-All")
+			if unbounded {
+				cfg.Net = interconnect.Config{Unbounded: true, HopLatency: 3, RouteOverhead: 3, DropAfter: 100}
+			}
+			runSim(b, cfg)
+		})
+	}
+}
+
+// BenchmarkEngine measures the raw discrete-event engine throughput that
+// bounds overall simulator speed.
+func BenchmarkEngine(b *testing.B) {
+	runSim(b, variantCfg(figureConfig("micro"), "Directory"))
+}

@@ -1,0 +1,102 @@
+// Command experiments regenerates the paper's evaluation figures
+// (Figures 4-10 of "Token Tenure: PATCHing Token Counting Using
+// Directory-Based Cache Coherence", MICRO-41 2008) on the simulator in
+// this repository.
+//
+// Usage:
+//
+//	experiments -exp all            # everything (minutes)
+//	experiments -exp fig4           # runtime + traffic grid (fig5 included)
+//	experiments -exp fig6           # bandwidth adaptivity, ocean
+//	experiments -exp fig7           # bandwidth adaptivity, jbb
+//	experiments -exp fig8           # scalability 4..512 cores
+//	experiments -exp fig9           # inexact encodings (fig10 included)
+//	experiments -quick              # shrunken smoke-test scale
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"patch/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: all, fig4, fig5, fig6, fig7, fig8, fig9, fig10")
+	quick := flag.Bool("quick", false, "shrunken scale for smoke testing")
+	cores := flag.Int("cores", 0, "override core count for fig4-7")
+	ops := flag.Int("ops", 0, "override measured ops/core")
+	seeds := flag.Int("seeds", 0, "override seeds per cell")
+	maxCores := flag.Int("maxcores", 0, "override fig8 sweep limit")
+	flag.Parse()
+
+	sc := experiments.DefaultScale()
+	if *quick {
+		sc = experiments.QuickScale()
+	}
+	if *cores > 0 {
+		sc.Cores = *cores
+	}
+	if *ops > 0 {
+		sc.Ops = *ops
+		sc.Warmup = 2 * *ops
+	}
+	if *seeds > 0 {
+		sc.Seeds = *seeds
+	}
+	if *maxCores > 0 {
+		sc.MaxCores = *maxCores
+	}
+
+	start := time.Now()
+	run := func(name string, f func() error) {
+		if *exp != "all" && *exp != name && !alias(*exp, name) {
+			return
+		}
+		t0 := time.Now()
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s done in %v]\n\n", name, time.Since(t0).Round(time.Millisecond))
+	}
+
+	run("fig4", func() error {
+		_, err := experiments.Fig4And5(os.Stdout, sc)
+		return err
+	})
+	run("fig6", func() error {
+		_, err := experiments.BandwidthSweep(os.Stdout, sc, "ocean")
+		return err
+	})
+	run("fig7", func() error {
+		_, err := experiments.BandwidthSweep(os.Stdout, sc, "jbb")
+		return err
+	})
+	run("fig8", func() error {
+		_, err := experiments.Scalability(os.Stdout, sc)
+		return err
+	})
+	run("fig9", func() error {
+		sizes := []int{64, 128, 256}
+		if *quick {
+			sizes = []int{16, 32}
+		}
+		_, err := experiments.InexactEncodings(os.Stdout, sc, sizes)
+		return err
+	})
+	fmt.Printf("total: %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+// alias maps the paired figures onto the experiment that produces both.
+func alias(requested, name string) bool {
+	switch requested {
+	case "fig5":
+		return name == "fig4"
+	case "fig10":
+		return name == "fig9"
+	}
+	return false
+}

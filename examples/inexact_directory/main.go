@@ -1,0 +1,55 @@
+// Inexact directory encodings: a miniature of the paper's Figures 9-10.
+// Coarsens the sharer bit vector (1 bit per K cores) and compares
+// DIRECTORY with PATCH on the microbenchmark. DIRECTORY's traffic fills
+// up with unnecessary invalidation acknowledgements — every member of
+// every marked group must ack — while PATCH elides them because only
+// actual token holders respond (§7).
+//
+//	go run ./examples/inexact_directory
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"patch"
+)
+
+func main() {
+	const cores = 32
+	fmt.Printf("Microbenchmark on %d cores, 2 B/cycle links; K = cores per presence bit.\n\n", cores)
+	fmt.Printf("%-10s %-22s %-22s\n", "", "DIRECTORY", "PATCH")
+	fmt.Printf("%-10s %-11s %-10s %-11s %-10s\n", "K", "runtime", "ack B/miss", "runtime", "ack B/miss")
+
+	var dirBase, patchBase float64
+	for _, k := range []int{1, 4, 16, 32} {
+		run := func(p patch.Protocol) *patch.Result {
+			cfg := patch.Config{
+				Protocol: p, Variant: patch.VariantNone,
+				Cores: cores, Workload: "micro", OpsPerCore: 300, WarmupOps: 600,
+				Seed: 1, DirectoryCoarseness: k,
+				BandwidthBytesPerKiloCycle: 2000,
+			}
+			r, err := patch.Run(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			return r
+		}
+		d := run(patch.Directory)
+		p := run(patch.PATCH)
+		if k == 1 {
+			dirBase = float64(d.Cycles)
+			patchBase = float64(p.Cycles)
+		}
+		ackPerMiss := func(r *patch.Result) float64 {
+			return float64(r.TrafficByClass["Ack"]) / float64(r.Misses)
+		}
+		fmt.Printf("%-10d %-11.3f %-10.1f %-11.3f %-10.1f\n",
+			k, float64(d.Cycles)/dirBase, ackPerMiss(d),
+			float64(p.Cycles)/patchBase, ackPerMiss(p))
+	}
+	fmt.Println("\nExpected shape: DIRECTORY's ack bytes grow sharply with K while")
+	fmt.Println("PATCH's barely move — only token holders acknowledge, so PATCH")
+	fmt.Println("out-scales DIRECTORY when the encoding is inexact (paper §8.5).")
+}

@@ -1,0 +1,219 @@
+// Package cache implements the set-associative cache arrays used by every
+// protocol: true LRU replacement, per-line MOESI state for the directory
+// protocol and per-line token state for PATCH/TokenB (the paper adds
+// roughly 2% state overhead for token counts; we carry both views).
+package cache
+
+import (
+	"patch/internal/event"
+	"patch/internal/msg"
+	"patch/internal/token"
+)
+
+// Line is one cache block's worth of state.
+type Line struct {
+	Addr    msg.Addr
+	Present bool
+
+	// MOESI is the coherence state as the directory protocol sees it; for
+	// token protocols it is derived from Tok but kept for tracing.
+	MOESI token.MOESI
+
+	// Tok is the token-counting state (PATCH, TokenB).
+	Tok token.State
+
+	// Written records a local store since the block was filled, which is
+	// what the migratory detector's conversion check needs (a dirty bit
+	// alone would be inherited with migratory data).
+	Written bool
+
+	// Version is the block's write serial number: incremented by every
+	// store performed on this copy, carried along with data transfers,
+	// and checked against the global store count at end of run.
+	Version uint64
+
+	// Untenured marks token holdings that have not been tenured (PATCH
+	// token tenure rule #2); UntenuredAt records when the probationary
+	// period began.
+	Untenured   bool
+	UntenuredAt event.Time
+
+	lastUse uint64
+}
+
+// Config sizes a cache.
+type Config struct {
+	SizeBytes int
+	Ways      int
+	BlockSize int
+}
+
+// Cache is a set-associative array. It stores coherence state only; data
+// values are not simulated (timing-directed simulation, as in GEMS).
+type Cache struct {
+	cfg   Config
+	sets  [][]Line
+	nsets int
+	clock uint64
+
+	// Stats.
+	Hits, Misses, Evictions uint64
+}
+
+// New builds a cache. SizeBytes must be a multiple of Ways*BlockSize.
+func New(cfg Config) *Cache {
+	nsets := cfg.SizeBytes / (cfg.Ways * cfg.BlockSize)
+	if nsets < 1 {
+		nsets = 1
+	}
+	sets := make([][]Line, nsets)
+	backing := make([]Line, nsets*cfg.Ways)
+	for i := range sets {
+		sets[i] = backing[i*cfg.Ways : (i+1)*cfg.Ways]
+	}
+	return &Cache{cfg: cfg, sets: sets, nsets: nsets}
+}
+
+// Sets returns the number of sets (diagnostics).
+func (c *Cache) Sets() int { return c.nsets }
+
+func (c *Cache) setIndex(addr msg.Addr) int {
+	return int((uint64(addr) / uint64(c.cfg.BlockSize)) % uint64(c.nsets))
+}
+
+// Lookup returns the line holding addr, or nil. It does not update LRU.
+func (c *Cache) Lookup(addr msg.Addr) *Line {
+	set := c.sets[c.setIndex(addr)]
+	for i := range set {
+		if set[i].Present && set[i].Addr == addr {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// Touch marks the line most recently used.
+func (c *Cache) Touch(l *Line) {
+	c.clock++
+	l.lastUse = c.clock
+}
+
+// Access looks up addr, recording a hit or miss and updating LRU on hit.
+func (c *Cache) Access(addr msg.Addr) *Line {
+	l := c.Lookup(addr)
+	if l != nil {
+		c.Hits++
+		c.Touch(l)
+	} else {
+		c.Misses++
+	}
+	return l
+}
+
+// Victim returns the line that Allocate would evict for addr: an invalid
+// way if one exists, otherwise the least recently used line in the set.
+// Returns nil only if the line is already present.
+func (c *Cache) Victim(addr msg.Addr) *Line {
+	if c.Lookup(addr) != nil {
+		return nil
+	}
+	set := c.sets[c.setIndex(addr)]
+	var victim *Line
+	for i := range set {
+		if !set[i].Present {
+			return &set[i]
+		}
+		if victim == nil || set[i].lastUse < victim.lastUse {
+			victim = &set[i]
+		}
+	}
+	return victim
+}
+
+// Allocate installs addr into the cache, evicting the LRU way if needed.
+// It returns the new line and a copy of the evicted line (evicted.Present
+// reports whether anything was displaced). The new line starts invalid
+// (MOESI I, zero tokens); the caller fills in coherence state.
+func (c *Cache) Allocate(addr msg.Addr) (l *Line, evicted Line) {
+	if existing := c.Lookup(addr); existing != nil {
+		return existing, Line{}
+	}
+	v := c.Victim(addr)
+	if v.Present {
+		evicted = *v
+		c.Evictions++
+	}
+	*v = Line{Addr: addr, Present: true}
+	c.Touch(v)
+	return v, evicted
+}
+
+// AllocateAvoid is Allocate with a victim filter: lines for which avoid
+// returns true (e.g. blocks with an outstanding MSHR) are not displaced.
+// If every way is protected the least-recently-used protected line is
+// evicted anyway (cannot happen with single-outstanding-miss cores, but
+// the fallback keeps the cache total).
+func (c *Cache) AllocateAvoid(addr msg.Addr, avoid func(msg.Addr) bool) (l *Line, evicted Line) {
+	if existing := c.Lookup(addr); existing != nil {
+		return existing, Line{}
+	}
+	set := c.sets[c.setIndex(addr)]
+	var victim, fallback *Line
+	for i := range set {
+		ln := &set[i]
+		if !ln.Present {
+			victim = ln
+			break
+		}
+		if fallback == nil || ln.lastUse < fallback.lastUse {
+			fallback = ln
+		}
+		if avoid != nil && avoid(ln.Addr) {
+			continue
+		}
+		if victim == nil || ln.lastUse < victim.lastUse {
+			victim = ln
+		}
+	}
+	if victim == nil {
+		victim = fallback
+	}
+	if victim.Present {
+		evicted = *victim
+		c.Evictions++
+	}
+	*victim = Line{Addr: addr, Present: true}
+	c.Touch(victim)
+	return victim, evicted
+}
+
+// Drop removes the line without writeback bookkeeping (caller handles
+// token/dirty obligations).
+func (c *Cache) Drop(l *Line) { *l = Line{} }
+
+// ResetCounters clears the hit/miss/eviction statistics (used when a
+// measurement phase begins after warmup) without touching contents.
+func (c *Cache) ResetCounters() { c.Hits, c.Misses, c.Evictions = 0, 0, 0 }
+
+// TokenHoldings implements token.Holder.
+func (c *Cache) TokenHoldings(fn func(addr msg.Addr, count int, owner bool)) {
+	for _, set := range c.sets {
+		for i := range set {
+			l := &set[i]
+			if l.Present && !l.Tok.Zero() {
+				fn(l.Addr, l.Tok.Count, l.Tok.Owner)
+			}
+		}
+	}
+}
+
+// ForEach visits every present line (diagnostics and checkers).
+func (c *Cache) ForEach(fn func(l *Line)) {
+	for _, set := range c.sets {
+		for i := range set {
+			if set[i].Present {
+				fn(&set[i])
+			}
+		}
+	}
+}

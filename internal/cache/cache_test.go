@@ -1,0 +1,190 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"patch/internal/msg"
+	"patch/internal/token"
+)
+
+func small() *Cache {
+	// 4 sets x 2 ways x 64B blocks.
+	return New(Config{SizeBytes: 512, Ways: 2, BlockSize: 64})
+}
+
+func addr(set, tag int) msg.Addr {
+	return msg.Addr(uint64(tag)*4*64 + uint64(set)*64)
+}
+
+func TestLookupMissOnEmpty(t *testing.T) {
+	c := small()
+	if c.Lookup(0x1000) != nil {
+		t.Fatal("lookup hit on empty cache")
+	}
+	if c.Access(0x1000) != nil {
+		t.Fatal("access hit on empty cache")
+	}
+	if c.Misses != 1 {
+		t.Fatalf("misses = %d", c.Misses)
+	}
+}
+
+func TestAllocateAndHit(t *testing.T) {
+	c := small()
+	l, ev := c.Allocate(0x40)
+	if ev.Present {
+		t.Fatal("eviction from empty cache")
+	}
+	if l.Addr != 0x40 || !l.Present {
+		t.Fatalf("allocated line: %+v", l)
+	}
+	if got := c.Access(0x40); got != l {
+		t.Fatal("access after allocate missed")
+	}
+	if c.Hits != 1 {
+		t.Fatalf("hits = %d", c.Hits)
+	}
+}
+
+func TestAllocateIdempotent(t *testing.T) {
+	c := small()
+	l1, _ := c.Allocate(0x40)
+	l1.MOESI = token.M
+	l2, ev := c.Allocate(0x40)
+	if l2 != l1 || ev.Present {
+		t.Fatal("re-allocate must return the existing line without eviction")
+	}
+	if l2.MOESI != token.M {
+		t.Fatal("re-allocate clobbered state")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := small()
+	a0, a1, a2 := addr(0, 0), addr(0, 1), addr(0, 2)
+	c.Allocate(a0)
+	c.Allocate(a1)
+	c.Access(a0) // a1 now LRU
+	_, ev := c.Allocate(a2)
+	if !ev.Present || ev.Addr != a1 {
+		t.Fatalf("evicted %+v, want %#x", ev, uint64(a1))
+	}
+	if c.Lookup(a0) == nil || c.Lookup(a2) == nil || c.Lookup(a1) != nil {
+		t.Fatal("post-eviction contents wrong")
+	}
+}
+
+func TestEvictionPreservesVictimState(t *testing.T) {
+	c := small()
+	l, _ := c.Allocate(addr(1, 0))
+	l.MOESI = token.O
+	l.Tok = token.State{Count: 3, Owner: true, Dirty: true, Valid: true}
+	c.Allocate(addr(1, 1))
+	_, ev := c.Allocate(addr(1, 2))
+	if !ev.Present || ev.MOESI != token.O || ev.Tok.Count != 3 || !ev.Tok.Dirty {
+		t.Fatalf("victim state lost: %+v", ev)
+	}
+}
+
+func TestAllocateAvoid(t *testing.T) {
+	c := small()
+	a0, a1, a2 := addr(2, 0), addr(2, 1), addr(2, 2)
+	c.Allocate(a0)
+	c.Allocate(a1)
+	// a0 is LRU but protected; a1 must be chosen instead.
+	_, ev := c.AllocateAvoid(a2, func(a msg.Addr) bool { return a == a0 })
+	if !ev.Present || ev.Addr != a1 {
+		t.Fatalf("AllocateAvoid evicted %#x, want %#x", uint64(ev.Addr), uint64(a1))
+	}
+}
+
+func TestAllocateAvoidFallsBack(t *testing.T) {
+	c := small()
+	a0, a1, a2 := addr(3, 0), addr(3, 1), addr(3, 2)
+	c.Allocate(a0)
+	c.Allocate(a1)
+	// Everything protected: the LRU line is evicted anyway.
+	_, ev := c.AllocateAvoid(a2, func(msg.Addr) bool { return true })
+	if !ev.Present || ev.Addr != a0 {
+		t.Fatalf("fallback evicted %+v, want %#x", ev, uint64(a0))
+	}
+}
+
+func TestDrop(t *testing.T) {
+	c := small()
+	l, _ := c.Allocate(0x40)
+	c.Drop(l)
+	if c.Lookup(0x40) != nil {
+		t.Fatal("line survived Drop")
+	}
+}
+
+func TestTokenHoldings(t *testing.T) {
+	c := small()
+	l, _ := c.Allocate(0x40)
+	l.Tok = token.State{Count: 4, Owner: true, Valid: true}
+	l2, _ := c.Allocate(0x80)
+	l2.Tok = token.State{Count: 0}
+	got := map[msg.Addr]int{}
+	c.TokenHoldings(func(a msg.Addr, count int, owner bool) {
+		got[a] = count
+		if !owner {
+			t.Error("owner flag lost")
+		}
+	})
+	if len(got) != 1 || got[0x40] != 4 {
+		t.Fatalf("holdings = %v", got)
+	}
+}
+
+func TestResetCounters(t *testing.T) {
+	c := small()
+	c.Access(0x40)
+	c.Allocate(0x40)
+	c.Access(0x40)
+	c.ResetCounters()
+	if c.Hits != 0 || c.Misses != 0 || c.Evictions != 0 {
+		t.Fatal("counters survived reset")
+	}
+	if c.Lookup(0x40) == nil {
+		t.Fatal("reset dropped contents")
+	}
+}
+
+func TestSetsPowerOfTwoSizing(t *testing.T) {
+	c := New(Config{SizeBytes: 1 << 20, Ways: 4, BlockSize: 64})
+	if c.Sets() != (1<<20)/(4*64) {
+		t.Fatalf("sets = %d", c.Sets())
+	}
+}
+
+// TestPropertyCacheNeverExceedsCapacity fills the cache with random
+// addresses and verifies the number of present lines never exceeds
+// capacity and every present line is findable.
+func TestPropertyCacheNeverExceedsCapacity(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := New(Config{SizeBytes: 2048, Ways: 4, BlockSize: 64})
+		capacity := 2048 / 64
+		for i := 0; i < 500; i++ {
+			c.Allocate(msg.Addr(r.Intn(256) * 64))
+			count := 0
+			ok := true
+			c.ForEach(func(l *Line) {
+				count++
+				if c.Lookup(l.Addr) != l {
+					ok = false
+				}
+			})
+			if count > capacity || !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

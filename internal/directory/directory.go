@@ -1,0 +1,256 @@
+// Package directory implements the home node's directory: per-block
+// entries with a blocking busy/active state (the GEMS-style race
+// resolution the paper's DIRECTORY baseline uses), a FIFO of queued
+// requests, and pluggable sharer-set encodings including the inexact
+// coarse bit vectors evaluated in Figures 9 and 10.
+package directory
+
+import (
+	"fmt"
+
+	"patch/internal/msg"
+	"patch/internal/token"
+)
+
+// HomeOwner is the sentinel owner meaning "memory at the home owns the
+// block".
+const HomeOwner msg.NodeID = -1
+
+// Encoding selects how an entry stores its sharers.
+type Encoding struct {
+	// Cores is the total number of cores.
+	Cores int
+	// Coarseness K maps one presence bit to K cores (1 = exact full map,
+	// Cores = a single bit for everyone). The owner is always recorded
+	// exactly (the paper's inexact experiment records the owner with
+	// log n bits so reads stay exact).
+	Coarseness int
+}
+
+// FullMap returns the exact encoding.
+func FullMap(cores int) Encoding { return Encoding{Cores: cores, Coarseness: 1} }
+
+// Validate checks the encoding parameters.
+func (e Encoding) Validate() error {
+	if e.Cores <= 0 {
+		return fmt.Errorf("directory: cores must be positive, got %d", e.Cores)
+	}
+	if e.Coarseness < 1 || e.Coarseness > e.Cores {
+		return fmt.Errorf("directory: coarseness %d out of range [1,%d]", e.Coarseness, e.Cores)
+	}
+	if e.Cores%e.Coarseness != 0 {
+		return fmt.Errorf("directory: coarseness %d does not divide cores %d", e.Coarseness, e.Cores)
+	}
+	return nil
+}
+
+// SharerSet is a conservative over-approximation of the caches holding a
+// block. With Coarseness > 1 membership queries may return false
+// positives but never false negatives.
+type SharerSet struct {
+	enc  Encoding
+	bits []uint64
+}
+
+// NewSharerSet returns an empty set under the encoding.
+func NewSharerSet(enc Encoding) SharerSet {
+	groups := enc.Cores / enc.Coarseness
+	return SharerSet{enc: enc, bits: make([]uint64, (groups+63)/64)}
+}
+
+func (s *SharerSet) group(n msg.NodeID) int { return int(n) / s.enc.Coarseness }
+
+// Add records node n as a sharer.
+func (s *SharerSet) Add(n msg.NodeID) {
+	g := s.group(n)
+	s.bits[g/64] |= 1 << (g % 64)
+}
+
+// Clear empties the set.
+func (s *SharerSet) Clear() {
+	for i := range s.bits {
+		s.bits[i] = 0
+	}
+}
+
+// Empty reports whether no presence bits are set.
+func (s *SharerSet) Empty() bool {
+	for _, b := range s.bits {
+		if b != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Contains reports whether n may be a sharer (exact for Coarseness 1).
+func (s *SharerSet) Contains(n msg.NodeID) bool {
+	g := s.group(n)
+	return s.bits[g/64]&(1<<(g%64)) != 0
+}
+
+// Remove clears n's presence bit. Under a coarse encoding this also
+// forgets other cores in the same group, so callers only use it when the
+// whole group is known to be invalid (e.g. after a full invalidation) —
+// ordinary replacement simply leaves the bit set, which is the source of
+// the inexactness the paper studies.
+func (s *SharerSet) Remove(n msg.NodeID) {
+	g := s.group(n)
+	s.bits[g/64] &^= 1 << (g % 64)
+}
+
+// Members returns the conservative expansion of the set: every core in
+// every marked group, excluding exclude (pass -2 to exclude nobody; the
+// requester is normally excluded from invalidation multicasts).
+func (s *SharerSet) Members(exclude msg.NodeID) []msg.NodeID {
+	var out []msg.NodeID
+	groups := s.enc.Cores / s.enc.Coarseness
+	for g := 0; g < groups; g++ {
+		if s.bits[g/64]&(1<<(g%64)) == 0 {
+			continue
+		}
+		base := g * s.enc.Coarseness
+		for i := 0; i < s.enc.Coarseness; i++ {
+			n := msg.NodeID(base + i)
+			if n != exclude {
+				out = append(out, n)
+			}
+		}
+	}
+	return out
+}
+
+// Count returns the number of cores in the conservative expansion.
+func (s *SharerSet) Count() int {
+	n := 0
+	groups := s.enc.Cores / s.enc.Coarseness
+	for g := 0; g < groups; g++ {
+		if s.bits[g/64]&(1<<(g%64)) != 0 {
+			n += s.enc.Coarseness
+		}
+	}
+	return n
+}
+
+// Pending is a queued request waiting for the block to become idle.
+type Pending struct {
+	Req       msg.NodeID
+	IsWrite   bool
+	Upgrade   bool
+	QueuedAt  uint64
+	Transient *msg.Message // original message, kept for protocol-specific fields
+}
+
+// Entry is the per-block directory state.
+type Entry struct {
+	Addr    msg.Addr
+	Owner   msg.NodeID // HomeOwner when memory owns the block
+	Sharers SharerSet
+
+	// Busy marks an active request being serviced; Active is its
+	// requester; ActiveWrite its kind. Queue holds requests that arrived
+	// while busy (the paper's DIRECTORY queues at the home).
+	Busy        bool
+	Active      msg.NodeID
+	ActiveSeq   uint64
+	ActiveWrite bool
+	Queue       []Pending
+
+	// Tok is the home's token holding for the block (PATCH/TokenB). The
+	// home of an untouched block holds all tokens with a clean owner.
+	Tok token.State
+
+	// OnDeactivate commits the active transaction's directory update when
+	// the requester's deactivation arrives; the deactivation message is
+	// passed in so outcome-dependent commits (migratory conversions) can
+	// inspect it.
+	OnDeactivate func(deact *msg.Message)
+
+	// AwaitingWB is set when the home activates a request from the node
+	// it still believes to be the owner: the owner's writeback must be in
+	// flight, and the transaction stalls until it arrives, at which point
+	// Resume continues servicing from memory.
+	AwaitingWB bool
+	Resume     func()
+
+	// Migratory is the migratory-sharing detector state: set once the
+	// pattern "read then write by the same core" has been observed.
+	// MigrAttempted records that the active transaction tried a
+	// migratory conversion; if the owner reports it had not actually
+	// written the block, the deactivation clears the mark.
+	MigrAttempted bool
+	Migratory     bool
+	LastReader    msg.NodeID
+	MigrArmed     bool
+	DataAtMemory  bool // memory copy is up to date (clean owner at home)
+
+	// MemVersion is the write serial number of the memory copy, updated
+	// by writebacks carrying data and served with home data responses.
+	MemVersion uint64
+}
+
+// Directory holds the entries homed at one node.
+type Directory struct {
+	Home    msg.NodeID
+	Enc     Encoding
+	Tokens  int // total tokens per block (PATCH/TokenB); 0 for DIRECTORY
+	entries map[msg.Addr]*Entry
+
+	// LookupLatency is the directory access latency (16 cycles in the
+	// paper); DRAMLatency the memory lookup (80 cycles).
+	LookupLatency int
+	DRAMLatency   int
+}
+
+// New creates an empty directory for blocks homed at home.
+func New(home msg.NodeID, enc Encoding, tokens int) *Directory {
+	return &Directory{
+		Home:          home,
+		Enc:           enc,
+		Tokens:        tokens,
+		entries:       make(map[msg.Addr]*Entry),
+		LookupLatency: 16,
+		DRAMLatency:   80,
+	}
+}
+
+// Entry returns the entry for addr, creating the initial "all tokens at
+// home, memory owns, no sharers" state on first touch.
+func (d *Directory) Entry(addr msg.Addr) *Entry {
+	e := d.entries[addr]
+	if e == nil {
+		e = &Entry{
+			Addr:         addr,
+			Owner:        HomeOwner,
+			Sharers:      NewSharerSet(d.Enc),
+			DataAtMemory: true,
+		}
+		if d.Tokens > 0 {
+			e.Tok = token.State{Count: d.Tokens, Owner: true, Dirty: false, Valid: true}
+		}
+		d.entries[addr] = e
+	}
+	return e
+}
+
+// Peek returns the entry if it exists, without creating one.
+func (d *Directory) Peek(addr msg.Addr) *Entry { return d.entries[addr] }
+
+// TokenHoldings implements token.Holder for conservation checks.
+func (d *Directory) TokenHoldings(fn func(addr msg.Addr, count int, owner bool)) {
+	for a, e := range d.entries {
+		if !e.Tok.Zero() {
+			fn(a, e.Tok.Count, e.Tok.Owner)
+		}
+	}
+}
+
+// ForEach visits every entry.
+func (d *Directory) ForEach(fn func(e *Entry)) {
+	for _, e := range d.entries {
+		fn(e)
+	}
+}
+
+// Len returns the number of touched blocks homed here.
+func (d *Directory) Len() int { return len(d.entries) }

@@ -1,0 +1,159 @@
+// Package event provides a deterministic discrete-event simulation engine.
+//
+// The engine is a binary-heap priority queue of callbacks keyed by
+// (time, sequence). Two events scheduled for the same cycle fire in the
+// order they were scheduled, which makes whole-system simulations
+// reproducible for a given seed.
+package event
+
+import "container/heap"
+
+// Time is the simulated clock, in cycles.
+type Time uint64
+
+// Func is a callback fired when an event's time is reached.
+type Func func(now Time)
+
+type item struct {
+	at    Time
+	seq   uint64
+	fn    Func
+	index int
+	dead  bool
+}
+
+// Handle identifies a scheduled event so that it can be cancelled.
+type Handle struct{ it *item }
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (h Handle) Cancel() {
+	if h.it != nil {
+		h.it.dead = true
+	}
+}
+
+// Pending reports whether the event is still scheduled to fire.
+func (h Handle) Pending() bool { return h.it != nil && !h.it.dead && h.it.index >= 0 }
+
+type queue []*item
+
+func (q queue) Len() int { return len(q) }
+func (q queue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q queue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *queue) Push(x any) {
+	it := x.(*item)
+	it.index = len(*q)
+	*q = append(*q, it)
+}
+func (q *queue) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	it.index = -1
+	*q = old[:n-1]
+	return it
+}
+
+// Engine is a discrete-event simulator. The zero value is ready to use.
+type Engine struct {
+	q      queue
+	now    Time
+	seq    uint64
+	fired  uint64
+	maxLen int
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired returns the number of events executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Len returns the number of events currently queued (including cancelled
+// events that have not yet been popped).
+func (e *Engine) Len() int { return len(e.q) }
+
+// MaxLen returns the high-water mark of the event queue.
+func (e *Engine) MaxLen() int { return e.maxLen }
+
+// At schedules fn to run at absolute time t. Scheduling in the past
+// (t < Now) fires the event at the current time instead; the engine never
+// moves backwards.
+func (e *Engine) At(t Time, fn Func) Handle {
+	if t < e.now {
+		t = e.now
+	}
+	it := &item{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.q, it)
+	if len(e.q) > e.maxLen {
+		e.maxLen = len(e.q)
+	}
+	return Handle{it}
+}
+
+// After schedules fn to run d cycles from now.
+func (e *Engine) After(d Time, fn Func) Handle { return e.At(e.now+d, fn) }
+
+// Step fires the next event. It returns false when the queue is empty.
+func (e *Engine) Step() bool {
+	for len(e.q) > 0 {
+		it := heap.Pop(&e.q).(*item)
+		if it.dead {
+			continue
+		}
+		e.now = it.at
+		e.fired++
+		it.fn(e.now)
+		return true
+	}
+	return false
+}
+
+// Run fires events until the queue is empty or the limit of fired events
+// is reached. A limit of 0 means no limit. It returns the number of
+// events fired during this call.
+func (e *Engine) Run(limit uint64) uint64 {
+	var n uint64
+	for {
+		if limit > 0 && n >= limit {
+			return n
+		}
+		if !e.Step() {
+			return n
+		}
+		n++
+	}
+}
+
+// RunUntil fires events with time <= deadline. Events scheduled beyond
+// the deadline remain queued; the clock advances to the deadline if any
+// work was pending beyond it.
+func (e *Engine) RunUntil(deadline Time) {
+	for len(e.q) > 0 {
+		// Peek.
+		it := e.q[0]
+		if it.dead {
+			heap.Pop(&e.q)
+			continue
+		}
+		if it.at > deadline {
+			break
+		}
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}

@@ -1,0 +1,347 @@
+// Package experiments regenerates every figure of the paper's evaluation
+// section (§8): runtime and traffic across protocols and workloads
+// (Figures 4-5), bandwidth adaptivity sweeps (Figures 6-7), scalability
+// from 4 to 512 cores (Figure 8), and inexact directory encodings
+// (Figures 9-10). Each experiment returns formatted rows normalised the
+// way the paper plots them, plus the underlying samples.
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"patch/internal/interconnect"
+	"patch/internal/msg"
+	"patch/internal/predictor"
+	"patch/internal/sim"
+	"patch/internal/stats"
+)
+
+// Scale controls how much simulated work each experiment does. Full
+// paper-shaped sweeps use the default; benchmarks and smoke tests shrink
+// it.
+type Scale struct {
+	Cores     int // Figure 4-7 system size (paper: 64)
+	Ops       int // measured ops per core
+	Warmup    int // warmup ops per core
+	Seeds     int // perturbed runs per cell (confidence intervals)
+	MaxCores  int // Figure 8 sweep limit (paper: 512)
+	SkipCheck bool
+}
+
+// DefaultScale is sized to finish the full suite in minutes on a laptop
+// while preserving every qualitative shape.
+func DefaultScale() Scale {
+	return Scale{Cores: 64, Ops: 600, Warmup: 1500, Seeds: 3, MaxCores: 512}
+}
+
+// QuickScale is for smoke tests and benchmarks.
+func QuickScale() Scale {
+	return Scale{Cores: 16, Ops: 250, Warmup: 500, Seeds: 1, MaxCores: 64, SkipCheck: true}
+}
+
+// Cell is one measured configuration.
+type Cell struct {
+	Label        string
+	Runtime      stats.Summary
+	BytesPerMiss stats.Summary
+	ByClass      [msg.NumClasses]float64 // mean bytes/miss by class
+	Dropped      float64
+}
+
+// configVariant builds the Figure 4/5 protocol column set.
+type variant struct {
+	name string
+	cfg  func(base sim.Config) sim.Config
+}
+
+func figureVariants() []variant {
+	return []variant{
+		{"Directory", func(b sim.Config) sim.Config {
+			b.Protocol = sim.Directory
+			return b
+		}},
+		{"PATCH-None", func(b sim.Config) sim.Config {
+			b.Protocol = sim.PATCH
+			b.Policy = predictor.None
+			b.BestEffort = true
+			return b
+		}},
+		{"PATCH-Owner", func(b sim.Config) sim.Config {
+			b.Protocol = sim.PATCH
+			b.Policy = predictor.Owner
+			b.BestEffort = true
+			return b
+		}},
+		{"Bcast-If-Shared", func(b sim.Config) sim.Config {
+			b.Protocol = sim.PATCH
+			b.Policy = predictor.BroadcastIfShared
+			b.BestEffort = true
+			return b
+		}},
+		{"PATCH-All", func(b sim.Config) sim.Config {
+			b.Protocol = sim.PATCH
+			b.Policy = predictor.All
+			b.BestEffort = true
+			return b
+		}},
+		{"TokenB", func(b sim.Config) sim.Config {
+			b.Protocol = sim.TokenB
+			return b
+		}},
+	}
+}
+
+// measure runs one configuration across seeds.
+func measure(label string, base sim.Config, seeds int) (Cell, error) {
+	cell := Cell{Label: label}
+	var rt, bpm []float64
+	var dropped float64
+	for s := 0; s < seeds; s++ {
+		cfg := base
+		cfg.Seed = base.Seed + int64(s)
+		r, err := sim.Run(cfg)
+		if err != nil {
+			return cell, fmt.Errorf("%s seed %d: %w", label, s, err)
+		}
+		rt = append(rt, float64(r.Cycles))
+		bpm = append(bpm, r.BytesPerMiss)
+		for c := 0; c < int(msg.NumClasses); c++ {
+			cell.ByClass[c] += float64(r.BytesByClass[c]) / float64(r.Misses) / float64(seeds)
+		}
+		dropped += float64(r.Dropped) / float64(seeds)
+	}
+	cell.Runtime = stats.Summarize(rt)
+	cell.BytesPerMiss = stats.Summarize(bpm)
+	cell.Dropped = dropped
+	return cell, nil
+}
+
+// Fig4And5 reproduces the paper's Figure 4 (normalised runtime) and
+// Figure 5 (normalised traffic per miss with per-class breakdown) for
+// every workload and protocol configuration.
+func Fig4And5(w io.Writer, sc Scale) (map[string][]Cell, error) {
+	out := make(map[string][]Cell)
+	workloads := []string{"jbb", "oltp", "apache", "barnes", "ocean"}
+	fmt.Fprintf(w, "== Figure 4 (normalized runtime) and Figure 5 (normalized traffic/miss), %d cores ==\n", sc.Cores)
+	for _, wl := range workloads {
+		base := sim.Config{
+			Cores: sc.Cores, OpsPerCore: sc.Ops, WarmupOps: sc.Warmup,
+			Workload: wl, Seed: 1, SkipChecks: sc.SkipCheck,
+		}
+		var cells []Cell
+		for _, v := range figureVariants() {
+			cell, err := measure(v.name, v.cfg(base), sc.Seeds)
+			if err != nil {
+				return nil, err
+			}
+			cells = append(cells, cell)
+		}
+		out[wl] = cells
+		dir := cells[0]
+		fmt.Fprintf(w, "\n%s:\n  %-16s %-18s %-14s %s\n", wl, "config", "runtime (norm)", "traffic (norm)", "traffic by class (bytes/miss)")
+		for _, c := range cells {
+			fmt.Fprintf(w, "  %-16s %-6.3f ±%-9.3f %-14.3f Data=%.0f Ack=%.0f Dir=%.0f Ind=%.0f Fwd=%.0f Re=%.0f Act=%.0f\n",
+				c.Label,
+				stats.Ratio(c.Runtime.Mean, dir.Runtime.Mean),
+				stats.Ratio(c.Runtime.CI95, dir.Runtime.Mean),
+				stats.Ratio(c.BytesPerMiss.Mean, dir.BytesPerMiss.Mean),
+				c.ByClass[msg.ClassData], c.ByClass[msg.ClassAck], c.ByClass[msg.ClassDirectReq],
+				c.ByClass[msg.ClassIndirectReq], c.ByClass[msg.ClassForward],
+				c.ByClass[msg.ClassReissue], c.ByClass[msg.ClassActivation])
+		}
+	}
+	return out, nil
+}
+
+// BandwidthSweep reproduces Figures 6 and 7: runtime of Directory,
+// PATCH-All-NonAdaptive and PATCH-All normalised to Directory at each
+// link bandwidth (bytes per 1000 cycles).
+func BandwidthSweep(w io.Writer, sc Scale, workload string) (map[int][3]float64, error) {
+	bandwidths := []int{300, 600, 900, 2000, 4000, 8000}
+	out := make(map[int][3]float64)
+	fmt.Fprintf(w, "== Figure 6/7 (bandwidth adaptivity, %s, %d cores) ==\n", workload, sc.Cores)
+	fmt.Fprintf(w, "  %-10s %-11s %-14s %-10s %s\n", "bw(B/kc)", "Directory", "PATCH-All-NA", "PATCH-All", "(runtime normalized to Directory)")
+	for _, bw := range bandwidths {
+		base := sim.Config{
+			Cores: sc.Cores, OpsPerCore: sc.Ops, WarmupOps: sc.Warmup,
+			Workload: workload, Seed: 1, SkipChecks: sc.SkipCheck,
+		}
+		base.Net = interconnect.DefaultConfig()
+		base.Net.BytesPerKiloCycle = bw
+
+		dirCfg := base
+		dirCfg.Protocol = sim.Directory
+		dir, err := measure("Directory", dirCfg, sc.Seeds)
+		if err != nil {
+			return nil, err
+		}
+		naCfg := base
+		naCfg.Protocol = sim.PATCH
+		naCfg.Policy = predictor.All
+		naCfg.BestEffort = false
+		na, err := measure("PATCH-All-NA", naCfg, sc.Seeds)
+		if err != nil {
+			return nil, err
+		}
+		beCfg := base
+		beCfg.Protocol = sim.PATCH
+		beCfg.Policy = predictor.All
+		beCfg.BestEffort = true
+		be, err := measure("PATCH-All", beCfg, sc.Seeds)
+		if err != nil {
+			return nil, err
+		}
+		row := [3]float64{
+			1.0,
+			stats.Ratio(na.Runtime.Mean, dir.Runtime.Mean),
+			stats.Ratio(be.Runtime.Mean, dir.Runtime.Mean),
+		}
+		out[bw] = row
+		fmt.Fprintf(w, "  %-10d %-11.3f %-14.3f %-10.3f\n", bw, row[0], row[1], row[2])
+	}
+	return out, nil
+}
+
+// Scalability reproduces Figure 8: microbenchmark runtime on 4..MaxCores
+// cores with 2-byte/cycle links, normalised to Directory at each size.
+func Scalability(w io.Writer, sc Scale) (map[int][3]float64, error) {
+	out := make(map[int][3]float64)
+	fmt.Fprintf(w, "== Figure 8 (scalability, microbenchmark, 2 B/cycle links) ==\n")
+	fmt.Fprintf(w, "  %-7s %-11s %-14s %-10s %s\n", "cores", "Directory", "PATCH-All-NA", "PATCH-All", "(runtime normalized to Directory)")
+	for cores := 4; cores <= sc.MaxCores; cores *= 2 {
+		// Keep total simulated work bounded as the system grows.
+		ops := sc.Ops
+		if scaled := (sc.Ops * sc.Cores) / cores; scaled < ops {
+			ops = scaled
+		}
+		if ops < 50 {
+			ops = 50
+		}
+		base := sim.Config{
+			Cores: cores, OpsPerCore: ops, WarmupOps: ops,
+			Workload: "micro", Seed: 1, SkipChecks: sc.SkipCheck,
+		}
+		base.Net = interconnect.DefaultConfig()
+		base.Net.BytesPerKiloCycle = 2000 // 2 bytes/cycle
+
+		dirCfg := base
+		dirCfg.Protocol = sim.Directory
+		dir, err := measure("Directory", dirCfg, sc.Seeds)
+		if err != nil {
+			return nil, err
+		}
+		naCfg := base
+		naCfg.Protocol = sim.PATCH
+		naCfg.Policy = predictor.All
+		naCfg.BestEffort = false
+		na, err := measure("PATCH-All-NA", naCfg, sc.Seeds)
+		if err != nil {
+			return nil, err
+		}
+		beCfg := base
+		beCfg.Protocol = sim.PATCH
+		beCfg.Policy = predictor.All
+		beCfg.BestEffort = true
+		be, err := measure("PATCH-All", beCfg, sc.Seeds)
+		if err != nil {
+			return nil, err
+		}
+		row := [3]float64{
+			1.0,
+			stats.Ratio(na.Runtime.Mean, dir.Runtime.Mean),
+			stats.Ratio(be.Runtime.Mean, dir.Runtime.Mean),
+		}
+		out[cores] = row
+		fmt.Fprintf(w, "  %-7d %-11.3f %-14.3f %-10.3f\n", cores, row[0], row[1], row[2])
+	}
+	return out, nil
+}
+
+// InexactRow is one (cores, coarseness) measurement for Figures 9-10.
+type InexactRow struct {
+	Cores, Coarseness  int
+	RuntimeBounded     float64 // normalised to full map, 2 B/cycle links
+	RuntimeUnbounded   float64 // normalised to full map, unbounded links
+	TrafficPerMiss     float64 // normalised to full map (bounded)
+	AckShare, FwdShare float64 // fraction of traffic
+}
+
+// InexactEncodings reproduces Figures 9 and 10: runtime and traffic of
+// DIRECTORY vs PATCH as the sharer encoding coarsens, at several system
+// sizes, with bounded (2 B/cycle) and unbounded links.
+func InexactEncodings(w io.Writer, sc Scale, sizes []int) (map[string][]InexactRow, error) {
+	out := make(map[string][]InexactRow)
+	fmt.Fprintf(w, "== Figure 9 (runtime) and Figure 10 (traffic/miss) vs encoding coarseness ==\n")
+	for _, cores := range sizes {
+		ops := sc.Ops
+		if scaled := (sc.Ops * sc.Cores) / cores; scaled < ops {
+			ops = scaled
+		}
+		if ops < 50 {
+			ops = 50
+		}
+		coarsenesses := []int{1, 4, 16, 64}
+		if cores >= 256 {
+			coarsenesses = append(coarsenesses, 256)
+		}
+		for _, proto := range []struct {
+			name string
+			kind sim.Kind
+		}{{"Dir", sim.Directory}, {"Patch", sim.PATCH}} {
+			key := fmt.Sprintf("%s-%dp", proto.name, cores)
+			fmt.Fprintf(w, "\n%s:\n  %-7s %-16s %-16s %-15s %s\n",
+				key, "K", "runtime(2B/cyc)", "runtime(unbnd)", "traffic(norm)", "ack share")
+			var baseBounded, baseUnbounded, baseTraffic float64
+			for _, k := range coarsenesses {
+				if k > cores {
+					continue
+				}
+				mk := func(unbounded bool) sim.Config {
+					cfg := sim.Config{
+						Cores: cores, OpsPerCore: ops, WarmupOps: ops,
+						Workload: "micro", Seed: 1, Coarseness: k,
+						Protocol: proto.kind, SkipChecks: sc.SkipCheck,
+					}
+					if proto.kind == sim.PATCH {
+						cfg.Policy = predictor.None
+						cfg.BestEffort = true
+					}
+					if unbounded {
+						cfg.Net = interconnect.Config{Unbounded: true, HopLatency: 3, RouteOverhead: 3, DropAfter: 100}
+					} else {
+						cfg.Net = interconnect.DefaultConfig()
+						cfg.Net.BytesPerKiloCycle = 2000
+					}
+					return cfg
+				}
+				bounded, err := measure(key, mk(false), sc.Seeds)
+				if err != nil {
+					return nil, err
+				}
+				unbounded, err := measure(key, mk(true), sc.Seeds)
+				if err != nil {
+					return nil, err
+				}
+				if k == 1 {
+					baseBounded = bounded.Runtime.Mean
+					baseUnbounded = unbounded.Runtime.Mean
+					baseTraffic = bounded.BytesPerMiss.Mean
+				}
+				total := bounded.BytesPerMiss.Mean
+				row := InexactRow{
+					Cores: cores, Coarseness: k,
+					RuntimeBounded:   stats.Ratio(bounded.Runtime.Mean, baseBounded),
+					RuntimeUnbounded: stats.Ratio(unbounded.Runtime.Mean, baseUnbounded),
+					TrafficPerMiss:   stats.Ratio(total, baseTraffic),
+					AckShare:         stats.Ratio(bounded.ByClass[msg.ClassAck], total),
+					FwdShare:         stats.Ratio(bounded.ByClass[msg.ClassForward], total),
+				}
+				out[key] = append(out[key], row)
+				fmt.Fprintf(w, "  %-7d %-16.3f %-16.3f %-15.3f %.2f\n",
+					k, row.RuntimeBounded, row.RuntimeUnbounded, row.TrafficPerMiss, row.AckShare)
+			}
+		}
+	}
+	return out, nil
+}

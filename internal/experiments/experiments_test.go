@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func quick() Scale {
+	return Scale{Cores: 8, Ops: 80, Warmup: 80, Seeds: 1, MaxCores: 16, SkipCheck: true}
+}
+
+func TestFig4And5Quick(t *testing.T) {
+	var buf bytes.Buffer
+	cells, err := Fig4And5(&buf, quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 5 {
+		t.Fatalf("%d workloads, want 5", len(cells))
+	}
+	for wl, cs := range cells {
+		if len(cs) != 6 {
+			t.Fatalf("%s: %d cells, want 6", wl, len(cs))
+		}
+		for _, c := range cs {
+			if c.Runtime.Mean <= 0 || c.BytesPerMiss.Mean <= 0 {
+				t.Fatalf("%s/%s: degenerate cell %+v", wl, c.Label, c)
+			}
+		}
+	}
+	out := buf.String()
+	for _, want := range []string{"Figure 4", "Directory", "PATCH-All", "TokenB", "oltp", "ocean"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q", want)
+		}
+	}
+}
+
+func TestBandwidthSweepQuick(t *testing.T) {
+	var buf bytes.Buffer
+	rows, err := BandwidthSweep(&buf, quick(), "jbb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("%d bandwidth points, want 6", len(rows))
+	}
+	for bw, r := range rows {
+		if r[0] != 1.0 || r[1] <= 0 || r[2] <= 0 {
+			t.Fatalf("bw %d: bad row %v", bw, r)
+		}
+	}
+}
+
+func TestScalabilityQuick(t *testing.T) {
+	var buf bytes.Buffer
+	rows, err := Scalability(&buf, quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4, 8, 16 cores with MaxCores=16.
+	if len(rows) != 3 {
+		t.Fatalf("%d sizes, want 3: %v", len(rows), rows)
+	}
+}
+
+func TestInexactEncodingsQuick(t *testing.T) {
+	var buf bytes.Buffer
+	rows, err := InexactEncodings(&buf, quick(), []int{16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir, ok := rows["Dir-16p"]
+	if !ok || len(dir) == 0 {
+		t.Fatalf("missing Dir-16p rows: %v", rows)
+	}
+	pt, ok := rows["Patch-16p"]
+	if !ok || len(pt) == 0 {
+		t.Fatal("missing Patch-16p rows")
+	}
+	// Full-map rows normalise to 1.0.
+	if dir[0].Coarseness != 1 || dir[0].TrafficPerMiss != 1.0 {
+		t.Fatalf("baseline row wrong: %+v", dir[0])
+	}
+}
+
+func TestScales(t *testing.T) {
+	d := DefaultScale()
+	if d.Cores != 64 || d.MaxCores != 512 {
+		t.Fatalf("default scale diverges from the paper: %+v", d)
+	}
+	q := QuickScale()
+	if q.Cores >= d.Cores || q.Ops >= d.Ops {
+		t.Fatal("quick scale not smaller than default")
+	}
+}

@@ -1,0 +1,339 @@
+// Package interconnect models the paper's 2D-torus interconnection
+// network: per-link bandwidth contention, fan-out multicast routing, and
+// a low-priority best-effort message class that is invisible to normal
+// traffic, consumes only leftover bandwidth, and drops messages that have
+// been queued for too long (the paper drops direct requests queued more
+// than 100 cycles).
+//
+// Contention model. Messages advance hop by hop as discrete events. Each
+// unidirectional link keeps a scalar "busy until" horizon per priority
+// class, advanced only when a message actually arrives at the link (so a
+// message never queues behind traffic that has not physically reached
+// the switch yet). A message departs a link at
+//
+//	depart = max(arrive, horizon) + serialization
+//
+// and normal traffic advances only the normal horizon, while best-effort
+// traffic sees both horizons but advances only its own: best-effort
+// direct requests consume only leftover bandwidth and never delay other
+// messages (§6).
+package interconnect
+
+import (
+	"patch/internal/event"
+	"patch/internal/msg"
+	"patch/internal/topology"
+)
+
+// Config holds the interconnect parameters from the paper's methods
+// section (§8.1).
+type Config struct {
+	// BytesPerKiloCycle is the per-link throughput. The paper's default is
+	// 16 bytes/cycle (16000 here); the bandwidth-adaptivity experiments
+	// sweep 300..8000 bytes per 1000 cycles.
+	BytesPerKiloCycle int
+
+	// HopLatency is the per-link wire+switch latency in cycles, and
+	// RouteOverhead a fixed per-message routing overhead; together they
+	// give the paper's "total link latency of 15 cycles" for an average
+	// route on the 64-core torus.
+	HopLatency    int
+	RouteOverhead int
+
+	// DropAfter is the queueing age (cycles) beyond which a best-effort
+	// message is discarded (100 in the paper).
+	DropAfter int
+
+	// Unbounded disables bandwidth accounting entirely (used by the
+	// Figure 9 "unbounded link bandwidth" configurations).
+	Unbounded bool
+}
+
+// DefaultConfig returns the baseline configuration from §8.1.
+func DefaultConfig() Config {
+	return Config{
+		BytesPerKiloCycle: 16000,
+		HopLatency:        3,
+		RouteOverhead:     3,
+		DropAfter:         100,
+	}
+}
+
+// Handler receives delivered messages at a node.
+type Handler func(now event.Time, m *msg.Message)
+
+// LinkStats aggregates per-class traffic accounting. Traffic is measured
+// as in GEMS: bytes multiplied by the number of links traversed, so
+// fan-out multicast requests are cheaper than the equivalent unicasts
+// while acknowledgement implosion is fully charged.
+type LinkStats struct {
+	BytesByClass [msg.NumClasses]uint64
+	MsgsByClass  [msg.NumClasses]uint64
+	LinkBytes    uint64 // total bytes*links
+	Delivered    uint64
+	Dropped      uint64 // best-effort messages discarded as stale
+	QueueCycles  uint64 // total queueing delay accumulated by normal traffic
+}
+
+// Network is the torus interconnect. It is not safe for concurrent use;
+// the simulator is single-threaded and deterministic.
+type Network struct {
+	cfg   Config
+	topo  topology.Torus
+	eng   *event.Engine
+	nodes []Handler
+
+	// horizon[link] is the time the link becomes free for each class.
+	normalHorizon map[topology.Link]event.Time
+	beHorizon     map[topology.Link]event.Time
+
+	// OnSend and OnDeliver are observability hooks (tracing, token
+	// auditing); nil disables them. OnSend fires once per logical message
+	// (including one per multicast), OnDeliver once per delivered copy.
+	OnSend    func(now event.Time, m *msg.Message)
+	OnDeliver func(now event.Time, m *msg.Message)
+
+	Stats LinkStats
+}
+
+// New creates a network over n nodes.
+func New(eng *event.Engine, n int, cfg Config) *Network {
+	return &Network{
+		cfg:           cfg,
+		topo:          topology.New(n),
+		eng:           eng,
+		nodes:         make([]Handler, n),
+		normalHorizon: make(map[topology.Link]event.Time),
+		beHorizon:     make(map[topology.Link]event.Time),
+	}
+}
+
+// Topology exposes the underlying torus (for tests and diagnostics).
+func (n *Network) Topology() topology.Torus { return n.topo }
+
+// Register installs the message handler for a node. Every node must be
+// registered before traffic is sent to it.
+func (n *Network) Register(id msg.NodeID, h Handler) { n.nodes[id] = h }
+
+// serialization returns the cycles a message occupies a link.
+func (n *Network) serialization(bytes int) event.Time {
+	if n.cfg.Unbounded || n.cfg.BytesPerKiloCycle <= 0 {
+		return 0
+	}
+	// ceil(bytes*1000 / BytesPerKiloCycle)
+	return event.Time((bytes*1000 + n.cfg.BytesPerKiloCycle - 1) / n.cfg.BytesPerKiloCycle)
+}
+
+// traverse crosses one link at the current time (the message has
+// physically arrived at the switch), returning the arrival time at the
+// far side or ok=false when a best-effort message must be dropped.
+func (n *Network) traverse(l topology.Link, now event.Time, ser event.Time, bestEffort bool) (event.Time, bool) {
+	if n.cfg.Unbounded {
+		return now + event.Time(n.cfg.HopLatency), true
+	}
+	if bestEffort {
+		start := now
+		if h := n.normalHorizon[l]; h > start {
+			start = h
+		}
+		if h := n.beHorizon[l]; h > start {
+			start = h
+		}
+		if n.cfg.DropAfter > 0 && start > now+event.Time(n.cfg.DropAfter) {
+			return 0, false
+		}
+		depart := start + ser
+		n.beHorizon[l] = depart
+		return depart + event.Time(n.cfg.HopLatency), true
+	}
+	start := now
+	if h := n.normalHorizon[l]; h > start {
+		start = h
+	}
+	n.Stats.QueueCycles += uint64(start - now)
+	depart := start + ser
+	n.normalHorizon[l] = depart
+	return depart + event.Time(n.cfg.HopLatency), true
+}
+
+// account records a message's traffic contribution for links links.
+func (n *Network) account(m *msg.Message, links int) {
+	n.Stats.MsgsByClass[m.TrafficClass()]++
+	n.accountBytes(m, links)
+}
+
+// accountBytes charges link bytes without recounting the message (used
+// per tree link by multicasts).
+func (n *Network) accountBytes(m *msg.Message, links int) {
+	c := m.TrafficClass()
+	b := uint64(m.Bytes() * links)
+	n.Stats.BytesByClass[c] += b
+	n.Stats.LinkBytes += b
+}
+
+// deliver schedules the handler invocation.
+func (n *Network) deliver(at event.Time, m *msg.Message) {
+	h := n.nodes[m.Dst]
+	if h == nil {
+		panic("interconnect: message to unregistered node")
+	}
+	n.Stats.Delivered++
+	n.eng.At(at, func(now event.Time) {
+		if n.OnDeliver != nil {
+			n.OnDeliver(now, m)
+		}
+		h(now, m)
+	})
+}
+
+// Send transmits a unicast message from m.Src to m.Dst, modelling route
+// latency and per-link contention hop by hop. Local (Src == Dst)
+// messages are delivered after one cycle without consuming link
+// bandwidth.
+func (n *Network) Send(m *msg.Message) {
+	if n.OnSend != nil {
+		n.OnSend(n.eng.Now(), m)
+	}
+	n.sendRouted(m)
+}
+
+// sendRouted performs the routing and contention without firing OnSend
+// (multicast copies are announced once by Multicast).
+func (n *Network) sendRouted(m *msg.Message) {
+	now := n.eng.Now()
+	if m.Src == m.Dst {
+		n.account(m, 0)
+		n.deliver(now+1, m)
+		return
+	}
+	route := n.topo.Route(int(m.Src), int(m.Dst))
+	if n.cfg.Unbounded {
+		n.account(m, len(route))
+		n.deliver(now+event.Time(n.cfg.RouteOverhead+n.cfg.HopLatency*len(route)), m)
+		return
+	}
+	ser := n.serialization(m.Bytes())
+	n.hop(m, route, 0, now+event.Time(n.cfg.RouteOverhead), ser)
+}
+
+// hop schedules the traversal of route[idx] when the message arrives at
+// its near side.
+func (n *Network) hop(m *msg.Message, route []topology.Link, idx int, arrive event.Time, ser event.Time) {
+	if idx == len(route) {
+		n.account(m, len(route))
+		n.deliver(arrive, m)
+		return
+	}
+	n.eng.At(arrive, func(now event.Time) {
+		next, ok := n.traverse(route[idx], now, ser, m.BestEffort)
+		if !ok {
+			n.Stats.Dropped++
+			return
+		}
+		n.hop(m, route, idx+1, next, ser)
+	})
+}
+
+// Multicast transmits copies of m to every destination in dsts using a
+// fan-out multicast tree: each tree link is charged once. Per-destination
+// copies of the message are created with Dst set. Best-effort multicasts
+// prune any subtree whose entry link is congested past the drop
+// threshold.
+func (n *Network) Multicast(m *msg.Message, dsts []msg.NodeID) {
+	if len(dsts) == 0 {
+		return
+	}
+	if n.OnSend != nil {
+		n.OnSend(n.eng.Now(), m)
+	}
+	if len(dsts) == 1 {
+		c := *m
+		c.Dst = dsts[0]
+		n.sendRouted(&c)
+		return
+	}
+	now := n.eng.Now()
+	want := make(map[int]bool, len(dsts))
+	for _, d := range dsts {
+		if d == m.Src {
+			c := *m
+			c.Dst = d
+			n.account(&c, 0)
+			n.deliver(now+1, &c)
+			continue
+		}
+		want[int(d)] = true
+	}
+	tree := n.topo.MulticastTree(int(m.Src), intIDs(dsts))
+	ser := n.serialization(m.Bytes())
+	n.Stats.MsgsByClass[m.TrafficClass()]++
+	n.walkTree(m, tree, want, int(m.Src), now+event.Time(n.cfg.RouteOverhead), ser)
+}
+
+// walkTree propagates a multicast copy through the fan-out tree, one
+// event per switch arrival, charging each tree link once.
+func (n *Network) walkTree(m *msg.Message, tree map[int][]topology.Link, want map[int]bool, node int, arrive event.Time, ser event.Time) {
+	children := tree[node]
+	if len(children) == 0 {
+		return
+	}
+	fanOut := func(now event.Time) {
+		for _, l := range children {
+			t, ok := n.traverse(l, now, ser, m.BestEffort)
+			if !ok {
+				n.Stats.Dropped++ // whole subtree dropped
+				continue
+			}
+			n.accountBytes(m, 1)
+			if want[l.To] {
+				c := *m
+				c.Dst = msg.NodeID(l.To)
+				n.deliver(t, &c)
+			}
+			n.walkTree(m, tree, want, l.To, t, ser)
+		}
+	}
+	if n.cfg.Unbounded {
+		// No contention state to serialise on: propagate directly.
+		for _, l := range children {
+			t := arrive + event.Time(n.cfg.HopLatency)
+			n.accountBytes(m, 1)
+			if want[l.To] {
+				c := *m
+				c.Dst = msg.NodeID(l.To)
+				n.deliver(t, &c)
+			}
+			n.walkTree(m, tree, want, l.To, t, ser)
+		}
+		return
+	}
+	n.eng.At(arrive, fanOut)
+}
+
+func intIDs(ids []msg.NodeID) []int {
+	out := make([]int, len(ids))
+	for i, id := range ids {
+		out[i] = int(id)
+	}
+	return out
+}
+
+// AvgDistance returns the mean hop count between distinct nodes, used to
+// size timeout defaults.
+func (n *Network) AvgDistance() float64 {
+	t := n.topo
+	total, cnt := 0, 0
+	for i := 0; i < t.Nodes(); i++ {
+		for j := 0; j < t.Nodes(); j++ {
+			if i == j {
+				continue
+			}
+			total += t.Distance(i, j)
+			cnt++
+		}
+	}
+	if cnt == 0 {
+		return 0
+	}
+	return float64(total) / float64(cnt)
+}

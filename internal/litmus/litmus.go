@@ -1,0 +1,316 @@
+// Package litmus generates and executes small cross-core coherence
+// litmus tests: short scripts of loads and stores racing over a handful
+// of blocks, run under each protocol (DIRECTORY, PATCH variants,
+// TokenB) and checked against the coherence axioms that do not depend
+// on timing:
+//
+//   - liveness: every operation completes;
+//   - per-core coherence order: a core's accesses to one block observe
+//     non-decreasing write versions;
+//   - read-own-writes: a load observes at least the version the same
+//     core last wrote;
+//   - write serialisation: the final version of each block equals the
+//     number of stores to it, identically across protocols.
+//
+// The harness drives protocol nodes directly (no workload generator), so
+// it can also be seeded from testing/quick for property-based protocol
+// fuzzing.
+package litmus
+
+import (
+	"fmt"
+	"math/rand"
+
+	"patch/internal/cache"
+	"patch/internal/core"
+	"patch/internal/directory"
+	"patch/internal/event"
+	"patch/internal/interconnect"
+	"patch/internal/msg"
+	"patch/internal/predictor"
+	"patch/internal/protocol"
+	"patch/internal/protocol/directoryproto"
+	"patch/internal/protocol/tokenb"
+	"patch/internal/token"
+)
+
+// Op is one scripted access.
+type Op struct {
+	Core  int
+	Block int // index into the script's block set
+	Write bool
+	Delay int // cycles after the previous op by the same core
+}
+
+// Script is an ordered per-system list of operations; per-core order is
+// preserved, cross-core interleaving is up to protocol timing.
+type Script []Op
+
+// Random generates a script of n operations over the given core and
+// block counts, biased toward contention (few blocks, mixed kinds).
+func Random(r *rand.Rand, cores, blocks, n int) Script {
+	s := make(Script, n)
+	for i := range s {
+		s[i] = Op{
+			Core:  r.Intn(cores),
+			Block: r.Intn(blocks),
+			Write: r.Intn(3) == 0,
+			Delay: r.Intn(30),
+		}
+	}
+	return s
+}
+
+// Protocol selects the protocol variant to run a script under.
+type Protocol int
+
+// Protocol variants covered by the litmus harness.
+const (
+	Directory Protocol = iota
+	PATCHNone
+	PATCHAll
+	PATCHAllNonAdaptive
+	TokenB
+	NumProtocols
+)
+
+func (p Protocol) String() string {
+	switch p {
+	case Directory:
+		return "Directory"
+	case PATCHNone:
+		return "PATCH-None"
+	case PATCHAll:
+		return "PATCH-All"
+	case PATCHAllNonAdaptive:
+		return "PATCH-All-NA"
+	case TokenB:
+		return "TokenB"
+	}
+	return "Protocol(?)"
+}
+
+// Observation is the version a completed operation saw (for writes, the
+// version it produced).
+type Observation struct {
+	Op      Op
+	Version uint64
+}
+
+// Outcome is the result of one script execution.
+type Outcome struct {
+	Protocol      Protocol
+	Observations  []Observation
+	FinalVersions map[int]uint64 // per block index
+	Cycles        event.Time
+}
+
+// blockAddr spreads script blocks across homes.
+func blockAddr(i int) msg.Addr { return msg.Addr(0x100000 + i*64) }
+
+// Run executes the script under one protocol on a system of the given
+// size and verifies the timing-independent coherence axioms. It returns
+// the outcome for cross-protocol comparison.
+func Run(p Protocol, script Script, cores int) (*Outcome, error) {
+	eng := &event.Engine{}
+	net := interconnect.New(eng, cores, interconnect.DefaultConfig())
+	env := protocol.DefaultEnv(eng, net, cores)
+
+	nodes := make([]protocol.Node, cores)
+	l2 := make([]*cache.Cache, cores)
+	lastPerformed := make([]uint64, cores) // version reported by the observer
+	enc := directory.FullMap(cores)
+	for i := 0; i < cores; i++ {
+		id := msg.NodeID(i)
+		switch p {
+		case Directory:
+			n := directoryproto.New(id, env, enc)
+			nodes[i], l2[i] = n, n.L2
+		case PATCHNone:
+			n := core.New(id, env, enc, core.Config{Policy: predictor.None, BestEffort: true})
+			nodes[i], l2[i] = n, n.L2
+		case PATCHAll:
+			n := core.New(id, env, enc, core.Config{Policy: predictor.All, BestEffort: true})
+			nodes[i], l2[i] = n, n.L2
+		case PATCHAllNonAdaptive:
+			n := core.New(id, env, enc, core.Config{Policy: predictor.All})
+			nodes[i], l2[i] = n, n.L2
+		case TokenB:
+			n := tokenb.New(id, env)
+			nodes[i], l2[i] = n, n.L2
+		default:
+			return nil, fmt.Errorf("litmus: unknown protocol %v", p)
+		}
+		i := i
+		obs := func(_ msg.Addr, _ bool, version uint64) { lastPerformed[i] = version }
+		switch n := nodes[i].(type) {
+		case *directoryproto.Node:
+			n.Observer = obs
+		case *core.Node:
+			n.Observer = obs
+		case *tokenb.Node:
+			n.Observer = obs
+		}
+		net.Register(id, nodes[i].Handle)
+	}
+
+	// Split the script into per-core queues preserving program order.
+	queues := make([][]int, cores) // indices into script
+	for i, op := range script {
+		queues[op.Core] = append(queues[op.Core], i)
+	}
+
+	out := &Outcome{Protocol: p, FinalVersions: make(map[int]uint64)}
+	obs := make([]Observation, len(script))
+	completed := 0
+
+	var issue func(coreID, qi int)
+	issue = func(coreID, qi int) {
+		if qi == len(queues[coreID]) {
+			return
+		}
+		idx := queues[coreID][qi]
+		op := script[idx]
+		eng.After(event.Time(op.Delay), func(event.Time) {
+			nodes[coreID].Access(blockAddr(op.Block), op.Write, func() {
+				obs[idx] = Observation{Op: op, Version: lastPerformed[coreID]}
+				completed++
+				issue(coreID, qi+1)
+			})
+		})
+	}
+	for c := 0; c < cores; c++ {
+		issue(c, 0)
+	}
+	eng.Run(0)
+	if completed != len(script) {
+		return nil, fmt.Errorf("litmus: %v: %d/%d ops completed (deadlock)", p, completed, len(script))
+	}
+	out.Observations = obs
+	out.Cycles = eng.Now()
+
+	// Collect final versions (max over all copies).
+	finals := make(map[msg.Addr]uint64)
+	for i := range nodes {
+		l2[i].ForEach(func(l *cache.Line) {
+			if l.Version > finals[l.Addr] {
+				finals[l.Addr] = l.Version
+			}
+		})
+		switch n := nodes[i].(type) {
+		case *directoryproto.Node:
+			n.Directory().ForEach(func(e *directory.Entry) {
+				if e.MemVersion > finals[e.Addr] {
+					finals[e.Addr] = e.MemVersion
+				}
+			})
+		case *core.Node:
+			n.Directory().ForEach(func(e *directory.Entry) {
+				if e.MemVersion > finals[e.Addr] {
+					finals[e.Addr] = e.MemVersion
+				}
+			})
+		case *tokenb.Node:
+			n.Memory().ForEach(func(e *directory.Entry) {
+				if e.MemVersion > finals[e.Addr] {
+					finals[e.Addr] = e.MemVersion
+				}
+			})
+		}
+	}
+	for b := 0; b < maxBlock(script)+1; b++ {
+		out.FinalVersions[b] = finals[blockAddr(b)]
+	}
+
+	if err := verifyAxioms(p, script, out); err != nil {
+		return nil, err
+	}
+	if err := verifyTokens(p, nodes, env); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func maxBlock(s Script) int {
+	m := 0
+	for _, op := range s {
+		if op.Block > m {
+			m = op.Block
+		}
+	}
+	return m
+}
+
+// verifyAxioms checks the timing-independent coherence requirements.
+func verifyAxioms(p Protocol, script Script, out *Outcome) error {
+	// Per-core, per-block monotone versions and read-own-writes.
+	type key struct{ core, block int }
+	last := make(map[key]uint64)
+	writes := make(map[int]uint64)
+	perCoreIdx := make(map[int][]int)
+	for i, op := range script {
+		perCoreIdx[op.Core] = append(perCoreIdx[op.Core], i)
+		if op.Write {
+			writes[op.Block]++
+		}
+	}
+	for _, idxs := range perCoreIdx {
+		for _, i := range idxs {
+			op := script[i]
+			v := out.Observations[i].Version
+			k := key{op.Core, op.Block}
+			if v < last[k] {
+				return fmt.Errorf("litmus: %v: core %d observed version %d after %d on block %d",
+					p, op.Core, v, last[k], op.Block)
+			}
+			last[k] = v
+		}
+	}
+	// Final version equals the store count.
+	for b, want := range writes {
+		if got := out.FinalVersions[b]; got != want {
+			return fmt.Errorf("litmus: %v: block %d final version %d, %d stores", p, b, got, want)
+		}
+	}
+	return nil
+}
+
+// verifyTokens runs the conservation check for token protocols.
+func verifyTokens(p Protocol, nodes []protocol.Node, env *protocol.Env) error {
+	var holders []token.Holder
+	for _, n := range nodes {
+		switch v := n.(type) {
+		case *core.Node:
+			holders = append(holders, v.Cache(), v.Directory())
+		case *tokenb.Node:
+			holders = append(holders, v.L2, v.Memory())
+		}
+	}
+	if holders == nil {
+		return nil
+	}
+	return token.CheckConservation(env.Tokens, holders, nil)
+}
+
+// Compare runs the script under every protocol and checks that the
+// outcomes agree where they must: same final version per block.
+func Compare(script Script, cores int) error {
+	var outs []*Outcome
+	for p := Protocol(0); p < NumProtocols; p++ {
+		o, err := Run(p, script, cores)
+		if err != nil {
+			return err
+		}
+		outs = append(outs, o)
+	}
+	base := outs[0]
+	for _, o := range outs[1:] {
+		for b, v := range base.FinalVersions {
+			if o.FinalVersions[b] != v {
+				return fmt.Errorf("litmus: final versions diverge on block %d: %v=%d %v=%d",
+					b, base.Protocol, v, o.Protocol, o.FinalVersions[b])
+			}
+		}
+	}
+	return nil
+}

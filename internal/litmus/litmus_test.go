@@ -1,0 +1,106 @@
+package litmus
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestClassicLitmusShapes runs a few canonical hand-written scenarios.
+func TestClassicLitmusShapes(t *testing.T) {
+	cases := []struct {
+		name   string
+		script Script
+	}{
+		{"store-buffer-ish", Script{
+			{Core: 0, Block: 0, Write: true}, {Core: 0, Block: 1, Write: false},
+			{Core: 1, Block: 1, Write: true}, {Core: 1, Block: 0, Write: false},
+		}},
+		{"message-passing", Script{
+			{Core: 0, Block: 0, Write: true}, {Core: 0, Block: 1, Write: true},
+			{Core: 1, Block: 1, Write: false}, {Core: 1, Block: 0, Write: false},
+		}},
+		{"racing-writers", Script{
+			{Core: 0, Block: 0, Write: true}, {Core: 1, Block: 0, Write: true},
+			{Core: 2, Block: 0, Write: true}, {Core: 3, Block: 0, Write: true},
+		}},
+		{"read-own-write", Script{
+			{Core: 0, Block: 0, Write: true}, {Core: 0, Block: 0, Write: false},
+			{Core: 0, Block: 0, Write: true}, {Core: 0, Block: 0, Write: false},
+		}},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			if err := Compare(c.script, 4); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestRandomScriptsAllProtocols(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 15; i++ {
+		script := Random(r, 4, 3, 24)
+		if err := Compare(script, 4); err != nil {
+			t.Fatalf("script %d: %v", i, err)
+		}
+	}
+}
+
+func TestHighContentionSingleBlock(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	script := make(Script, 40)
+	for i := range script {
+		script[i] = Op{Core: r.Intn(8), Block: 0, Write: r.Intn(2) == 0, Delay: r.Intn(5)}
+	}
+	if err := Compare(script, 8); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyRandomLitmus is the protocol fuzzer: random scripts under
+// random seeds must satisfy every coherence axiom on every protocol.
+func TestPropertyRandomLitmus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		script := Random(r, 4, 2, 30)
+		return Compare(script, 4) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOutcomeFields(t *testing.T) {
+	script := Script{{Core: 0, Block: 0, Write: true}, {Core: 1, Block: 0, Write: false}}
+	o, err := Run(PATCHAll, script, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Protocol != PATCHAll || o.Cycles == 0 || len(o.Observations) != 2 {
+		t.Fatalf("outcome: %+v", o)
+	}
+	if o.FinalVersions[0] != 1 {
+		t.Fatalf("final version = %d, want 1", o.FinalVersions[0])
+	}
+	// The write produced version 1; the read (later in time or not) saw
+	// version 0 or 1, never more.
+	for _, ob := range o.Observations {
+		if ob.Version > 1 {
+			t.Fatalf("impossible version %d", ob.Version)
+		}
+	}
+}
+
+func TestProtocolStrings(t *testing.T) {
+	for p := Protocol(0); p < NumProtocols; p++ {
+		if p.String() == "Protocol(?)" {
+			t.Fatalf("protocol %d unnamed", p)
+		}
+	}
+}

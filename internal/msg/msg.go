@@ -1,0 +1,230 @@
+// Package msg defines the coherence message taxonomy shared by every
+// protocol in the simulator, together with the sizes and traffic-class
+// accounting used to reproduce the paper's traffic figures (Figures 5
+// and 10).
+package msg
+
+import "fmt"
+
+// NodeID identifies a cache controller / home controller pair. The home
+// for a block is a NodeID chosen by address interleaving.
+type NodeID int
+
+// Addr is a physical block address (already aligned to the block size).
+type Addr uint64
+
+// Type enumerates every message used by the DIRECTORY, PATCH and TokenB
+// protocols.
+type Type int
+
+const (
+	// Requests.
+	GetS Type = iota // read request (indirect, to home)
+	GetM             // write request (indirect, to home)
+	Upg              // upgrade request: requester holds shared copy, wants M
+
+	// Direct/broadcast transient requests (PATCH best-effort hints and
+	// TokenB transient requests).
+	DirectGetS
+	DirectGetM
+
+	// Home-originated messages.
+	Fwd        // forwarded request from home to owner/sharers (carries Inv semantics for GetM)
+	Activation // explicit activation notification from home to requester (PATCH)
+
+	// Responses.
+	Data     // data response (carries tokens under PATCH)
+	Ack      // data-less acknowledgement (invalidation ack; carries tokens under PATCH)
+	AckCount // owner -> requester: number of invalidation acks to expect (piggybacked on Data in practice)
+
+	// Writebacks and token movement.
+	PutM        // dirty writeback (data)
+	PutClean    // clean-block eviction notice (non-silent under PATCH; carries tokens)
+	TokenReturn // untenured-token discard to home (PATCH token tenure rule #4)
+	Redirect    // home -> active requester: redirected tokens (PATCH rule #5)
+
+	// Completion.
+	Deactivate // requester -> home: request complete, update directory, unblock
+	PutAck     // home -> evictor: writeback processed (frees the writeback buffer)
+
+	// TokenB forward progress.
+	Reissue         // re-broadcast transient request (accounted separately, Fig. 5)
+	PersistentReq   // persistent request activation (to arbiter, then broadcast)
+	PersistentDeact // persistent request deactivation broadcast
+	numTypes        = iota
+)
+
+var typeNames = [numTypes]string{
+	"GetS", "GetM", "Upg", "DirectGetS", "DirectGetM", "Fwd", "Activation",
+	"Data", "Ack", "AckCount", "PutM", "PutClean", "TokenReturn", "Redirect",
+	"Deactivate", "PutAck", "Reissue", "PersistentReq", "PersistentDeact",
+}
+
+func (t Type) String() string {
+	if t >= 0 && int(t) < numTypes {
+		return typeNames[t]
+	}
+	return fmt.Sprintf("Type(%d)", int(t))
+}
+
+// Class is the traffic-accounting category used by the paper's traffic
+// breakdowns (Figure 5 and Figure 10).
+type Class int
+
+const (
+	ClassData Class = iota
+	ClassAck
+	ClassDirectReq
+	ClassIndirectReq
+	ClassForward
+	ClassReissue
+	ClassActivation
+	NumClasses
+)
+
+var classNames = [NumClasses]string{
+	"Data", "Ack", "Dir. Req.", "Ind. Req.", "Forward", "Reissue", "Activation",
+}
+
+func (c Class) String() string {
+	if c >= 0 && c < NumClasses {
+		return classNames[c]
+	}
+	return fmt.Sprintf("Class(%d)", int(c))
+}
+
+// Message sizes in bytes: a control message is a header; a data message
+// is a header plus one 64-byte cache block.
+const (
+	ControlBytes = 8
+	BlockBytes   = 64
+	DataBytes    = ControlBytes + BlockBytes
+)
+
+// Message is a coherence message in flight.
+type Message struct {
+	Type Type
+	Addr Addr
+	Src  NodeID
+	Dst  NodeID
+
+	// Requester is the node on whose behalf the message travels (e.g. the
+	// original requester for a Fwd, the destination of redirected tokens).
+	Requester NodeID
+
+	// Seq is the requester's per-node transaction serial number, used to
+	// match activation notifications (and deactivations) to the right
+	// request generation: a stale activation echo from an earlier
+	// transaction on the same block must not activate a newer one.
+	Seq uint64
+
+	// IsWrite distinguishes the request kind being forwarded or reissued.
+	IsWrite bool
+
+	// HasData reports whether the message carries the 64-byte block.
+	HasData bool
+
+	// Version is the block's write serial number, carried with data.
+	// Data values are not simulated; instead every store increments the
+	// block's version, which lets the simulator verify end to end that
+	// writes serialise and no update is lost or duplicated (the final
+	// version of a block must equal the total number of stores to it).
+	Version uint64
+
+	// AcksExpected is DIRECTORY's "acks to expect" count, carried on data
+	// responses from the owner or home.
+	AcksExpected int
+
+	// Tokens is the token count carried under PATCH/TokenB (0 for pure
+	// directory). Owner/OwnerDirty qualify the owner token.
+	Tokens     int
+	Owner      bool
+	OwnerDirty bool
+
+	// ToOwner distinguishes a forward aimed at the block's owner (which
+	// must supply data) from an invalidation multicast to sharers.
+	ToOwner bool
+
+	// Migratory marks a forwarded read that the home converted into an
+	// exclusive transfer under the migratory-sharing optimisation.
+	Migratory bool
+
+	// Exclusive marks a data grant with no other sharers, allowing the
+	// requester to install the block in E (reads) or M (writes).
+	Exclusive bool
+
+	// Stale marks a PutAck for a writeback whose ownership had already
+	// moved on; the evictor discards its writeback buffer without any
+	// directory change having occurred.
+	Stale bool
+
+	// Activated is PATCH's activation bit: set on a Fwd by the home when it
+	// activates Requester's request, and echoed on the response so the
+	// requester learns it has been activated (paper §5.2 reuses the
+	// "acks to expect" field for this).
+	Activated bool
+
+	// BestEffort marks the message as low-priority droppable traffic
+	// (PATCH direct requests).
+	BestEffort bool
+
+	// Persistent marks TokenB persistent-request priority traffic.
+	Persistent bool
+}
+
+// Bytes returns the size of the message on a link.
+func (m *Message) Bytes() int {
+	if m.HasData {
+		return DataBytes
+	}
+	return ControlBytes
+}
+
+// TrafficClass maps a message to the paper's accounting category.
+func (m *Message) TrafficClass() Class {
+	switch m.Type {
+	case Data, PutM:
+		return ClassData
+	case Ack, AckCount, PutClean, TokenReturn, Redirect:
+		if m.HasData {
+			return ClassData
+		}
+		return ClassAck
+	case DirectGetS, DirectGetM:
+		return ClassDirectReq
+	case GetS, GetM, Upg, Deactivate, PutAck:
+		return ClassIndirectReq
+	case Fwd:
+		return ClassForward
+	case Reissue:
+		return ClassReissue
+	case Activation, PersistentReq, PersistentDeact:
+		return ClassActivation
+	}
+	return ClassIndirectReq
+}
+
+// String renders a compact human-readable description, useful in traces.
+func (m *Message) String() string {
+	s := fmt.Sprintf("%v addr=%#x %d->%d", m.Type, uint64(m.Addr), m.Src, m.Dst)
+	if m.Tokens > 0 || m.Owner {
+		s += fmt.Sprintf(" t=%d", m.Tokens)
+		if m.Owner {
+			if m.OwnerDirty {
+				s += "(Od)"
+			} else {
+				s += "(Oc)"
+			}
+		}
+	}
+	if m.HasData {
+		s += " +data"
+	}
+	if m.Activated {
+		s += " act"
+	}
+	if m.BestEffort {
+		s += " be"
+	}
+	return s
+}

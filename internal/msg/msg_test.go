@@ -1,0 +1,85 @@
+package msg
+
+import "testing"
+
+func TestSizes(t *testing.T) {
+	ctrl := &Message{Type: GetS}
+	if ctrl.Bytes() != ControlBytes {
+		t.Fatalf("control message = %d bytes", ctrl.Bytes())
+	}
+	data := &Message{Type: Data, HasData: true}
+	if data.Bytes() != DataBytes {
+		t.Fatalf("data message = %d bytes", data.Bytes())
+	}
+	if DataBytes != ControlBytes+BlockBytes {
+		t.Fatal("data message must be header + one block")
+	}
+}
+
+func TestTrafficClasses(t *testing.T) {
+	cases := []struct {
+		m    Message
+		want Class
+	}{
+		{Message{Type: Data, HasData: true}, ClassData},
+		{Message{Type: PutM, HasData: true}, ClassData},
+		{Message{Type: Ack}, ClassAck},
+		{Message{Type: Ack, HasData: true}, ClassData}, // token data response
+		{Message{Type: TokenReturn}, ClassAck},
+		{Message{Type: Redirect, HasData: true}, ClassData},
+		{Message{Type: DirectGetS}, ClassDirectReq},
+		{Message{Type: DirectGetM}, ClassDirectReq},
+		{Message{Type: GetS}, ClassIndirectReq},
+		{Message{Type: GetM}, ClassIndirectReq},
+		{Message{Type: Upg}, ClassIndirectReq},
+		{Message{Type: Deactivate}, ClassIndirectReq},
+		{Message{Type: PutAck}, ClassIndirectReq},
+		{Message{Type: Fwd}, ClassForward},
+		{Message{Type: Reissue}, ClassReissue},
+		{Message{Type: Activation}, ClassActivation},
+		{Message{Type: PersistentReq}, ClassActivation},
+		{Message{Type: PersistentDeact}, ClassActivation},
+	}
+	for _, c := range cases {
+		if got := c.m.TrafficClass(); got != c.want {
+			t.Errorf("%v classified %v, want %v", c.m.Type, got, c.want)
+		}
+	}
+}
+
+func TestTypeStrings(t *testing.T) {
+	if GetS.String() != "GetS" || PersistentDeact.String() != "PersistentDeact" {
+		t.Fatal("type names out of sync")
+	}
+	if Type(999).String() == "" {
+		t.Fatal("unknown type must render something")
+	}
+	for c := Class(0); c < NumClasses; c++ {
+		if c.String() == "" {
+			t.Fatalf("class %d has no name", c)
+		}
+	}
+}
+
+func TestMessageString(t *testing.T) {
+	m := &Message{Type: Data, Addr: 0x1000, Src: 1, Dst: 2, Tokens: 3, Owner: true, OwnerDirty: true, HasData: true, Activated: true}
+	s := m.String()
+	for _, want := range []string{"Data", "0x1000", "1->2", "t=3", "(Od)", "+data", "act"} {
+		if !contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+	be := &Message{Type: DirectGetM, BestEffort: true}
+	if !contains(be.String(), "be") {
+		t.Errorf("best-effort marker missing from %q", be.String())
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,161 @@
+// Package predictor implements the destination-set predictors PATCH uses
+// to pick recipients for direct requests (§6). The predictors are taken
+// from the prior work the paper cites [19]: an Owner predictor (one extra
+// destination) and a Broadcast-If-Shared predictor (all cores for
+// recently shared blocks), plus the trivial None and All policies. The
+// table-based predictors have 8192 entries indexed by 1024-byte
+// macroblock, as in the paper.
+package predictor
+
+import (
+	"patch/internal/msg"
+)
+
+// Policy selects a predictor.
+type Policy int
+
+const (
+	// None sends no direct requests: PATCH-NONE, which the paper shows
+	// performs like DIRECTORY.
+	None Policy = iota
+	// Owner predicts the single likely owner: PATCH-OWNER.
+	Owner
+	// BroadcastIfShared broadcasts for blocks observed to be shared:
+	// PATCH-BROADCASTIFSHARED.
+	BroadcastIfShared
+	// All broadcasts every request: PATCH-ALL.
+	All
+)
+
+func (p Policy) String() string {
+	switch p {
+	case None:
+		return "None"
+	case Owner:
+		return "Owner"
+	case BroadcastIfShared:
+		return "BroadcastIfShared"
+	case All:
+		return "All"
+	}
+	return "Policy(?)"
+}
+
+const (
+	// TableEntries and MacroblockBytes follow the paper (§8.3).
+	TableEntries    = 8192
+	MacroblockBytes = 1024
+)
+
+type entry struct {
+	tag       uint64
+	valid     bool
+	lastOwner msg.NodeID
+	shared    bool
+	// sawRemote counts distinct remote interactions; two different remote
+	// parties mark the macroblock shared.
+	lastRemote msg.NodeID
+}
+
+// Predictor is one core's destination-set predictor.
+type Predictor struct {
+	policy Policy
+	self   msg.NodeID
+	n      int
+	table  []entry
+
+	Predictions uint64
+	Broadcasts  uint64
+}
+
+// New creates a predictor for node self in an n-core system.
+func New(policy Policy, self msg.NodeID, n int) *Predictor {
+	p := &Predictor{policy: policy, self: self, n: n}
+	if policy == Owner || policy == BroadcastIfShared {
+		p.table = make([]entry, TableEntries)
+	}
+	return p
+}
+
+// Policy returns the configured policy.
+func (p *Predictor) Policy() Policy { return p.policy }
+
+func (p *Predictor) slot(a msg.Addr) (*entry, uint64) {
+	mb := uint64(a) / MacroblockBytes
+	return &p.table[mb%TableEntries], mb
+}
+
+// Predict returns the destination set for a direct request to addr
+// (never including self; nil means indirect-only).
+func (p *Predictor) Predict(a msg.Addr) []msg.NodeID {
+	switch p.policy {
+	case None:
+		return nil
+	case All:
+		p.Predictions++
+		p.Broadcasts++
+		return p.everyoneElse()
+	case Owner:
+		e, tag := p.slot(a)
+		if !e.valid || e.tag != tag || e.lastOwner == p.self {
+			return nil
+		}
+		p.Predictions++
+		return []msg.NodeID{e.lastOwner}
+	case BroadcastIfShared:
+		e, tag := p.slot(a)
+		if !e.valid || e.tag != tag || !e.shared {
+			// Fall back to the owner prediction when not shared.
+			if e.valid && e.tag == tag && e.lastOwner != p.self {
+				p.Predictions++
+				return []msg.NodeID{e.lastOwner}
+			}
+			return nil
+		}
+		p.Predictions++
+		p.Broadcasts++
+		return p.everyoneElse()
+	}
+	return nil
+}
+
+func (p *Predictor) everyoneElse() []msg.NodeID {
+	out := make([]msg.NodeID, 0, p.n-1)
+	for i := 0; i < p.n; i++ {
+		if msg.NodeID(i) != p.self {
+			out = append(out, msg.NodeID(i))
+		}
+	}
+	return out
+}
+
+// observe updates the macroblock entry for a remote interaction.
+func (p *Predictor) observe(a msg.Addr, remote msg.NodeID, isOwner bool) {
+	if p.table == nil || remote == p.self {
+		return
+	}
+	e, tag := p.slot(a)
+	if !e.valid || e.tag != tag {
+		*e = entry{tag: tag, valid: true, lastOwner: remote, lastRemote: remote}
+		return
+	}
+	if isOwner {
+		e.lastOwner = remote
+	}
+	if e.lastRemote != remote {
+		e.shared = true
+	}
+	e.lastRemote = remote
+}
+
+// ObserveResponse records the source of a data/ownership response: the
+// likely current owner of the macroblock.
+func (p *Predictor) ObserveResponse(a msg.Addr, src msg.NodeID) { p.observe(a, src, true) }
+
+// ObserveRequest records an incoming request from another core, evidence
+// that the macroblock is actively shared. A write request also predicts
+// the requester as the block's next owner (it is about to collect every
+// token), which is what tracks migratory data.
+func (p *Predictor) ObserveRequest(a msg.Addr, requester msg.NodeID, isWrite bool) {
+	p.observe(a, requester, isWrite)
+}

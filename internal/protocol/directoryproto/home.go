@@ -1,0 +1,298 @@
+package directoryproto
+
+import (
+	"fmt"
+
+	"patch/internal/directory"
+	"patch/internal/event"
+	"patch/internal/msg"
+)
+
+// homeReceive accepts requests and writebacks at the home node, applying
+// the directory lookup latency and the per-block blocking discipline.
+func (n *Node) homeReceive(now event.Time, m *msg.Message) {
+	n.Env.Eng.After(event.Time(n.dir.LookupLatency), func(now event.Time) {
+		e := n.dir.Entry(m.Addr)
+		switch m.Type {
+		case msg.PutM, msg.PutClean:
+			if e.Busy {
+				if e.AwaitingWB && m.Src == e.Active {
+					// The writeback the active transaction is stalled on.
+					n.homeWriteback(e, m)
+					e.AwaitingWB = false
+					resume := e.Resume
+					e.Resume = nil
+					resume()
+					return
+				}
+				e.Queue = append(e.Queue, directory.Pending{Req: m.Src, Transient: m})
+				return
+			}
+			n.homeWriteback(e, m)
+		default:
+			if e.Busy {
+				e.Queue = append(e.Queue, directory.Pending{
+					Req: m.Requester, IsWrite: m.IsWrite, Upgrade: m.Type == msg.Upg, Transient: m,
+				})
+				return
+			}
+			n.homeActivate(now, e, m)
+		}
+	})
+}
+
+// homeWriteback retires a writeback: if the writer is still the owner the
+// block returns to memory; otherwise ownership already moved on and the
+// writeback is stale.
+func (n *Node) homeWriteback(e *directory.Entry, m *msg.Message) {
+	stale := e.Owner != m.Src
+	if !stale {
+		e.Owner = directory.HomeOwner
+		e.DataAtMemory = true
+		if m.HasData && m.Version > e.MemVersion {
+			e.MemVersion = m.Version
+		}
+		if fm := n.dir.Enc.Coarseness == 1; fm {
+			e.Sharers.Remove(m.Src)
+		}
+	}
+	n.Send(&msg.Message{Type: msg.PutAck, Addr: m.Addr, Dst: m.Src, Requester: m.Src, Stale: stale})
+}
+
+// homeActivate begins servicing one request: the block becomes busy and
+// stays busy until the requester's deactivation commits the new state.
+func (n *Node) homeActivate(now event.Time, e *directory.Entry, m *msg.Message) {
+	e.Busy = true
+	e.Active = m.Requester
+	e.ActiveWrite = m.IsWrite
+
+	r := m.Requester
+	service := func() {
+		switch m.Type {
+		case msg.GetS:
+			n.homeGetS(now, e, r)
+		case msg.GetM:
+			n.homeGetM(e, r)
+		case msg.Upg:
+			if e.Owner == r {
+				n.homeUpg(e, r)
+			} else {
+				// The upgrader lost ownership to an earlier racing
+				// request; service as a full write miss.
+				n.homeGetM(e, r)
+			}
+		default:
+			panic(fmt.Sprintf("directoryproto: home %d: cannot activate %v", n.ID, m))
+		}
+	}
+	// If the home still believes the requester owns the block (and this
+	// is not an in-place upgrade), the requester must have evicted it:
+	// its writeback is in flight or already queued. Drain it first so the
+	// request can be serviced from memory.
+	if e.Owner == r && m.Type != msg.Upg {
+		if wb := n.takeQueuedWriteback(e, r); wb != nil {
+			n.homeWriteback(e, wb)
+			service()
+			return
+		}
+		e.AwaitingWB = true
+		e.Resume = service
+		return
+	}
+	service()
+}
+
+// takeQueuedWriteback removes and returns a queued writeback from src.
+func (n *Node) takeQueuedWriteback(e *directory.Entry, src msg.NodeID) *msg.Message {
+	for i, p := range e.Queue {
+		t := p.Transient
+		if (t.Type == msg.PutM || t.Type == msg.PutClean) && t.Src == src {
+			e.Queue = append(e.Queue[:i], e.Queue[i+1:]...)
+			return t
+		}
+	}
+	return nil
+}
+
+func (n *Node) homeGetS(now event.Time, e *directory.Entry, r msg.NodeID) {
+	// Migratory detection bookkeeping: remember the most recent reader;
+	// two distinct readers without an intervening write clear the mark.
+	migratory := e.Migratory && e.Owner != directory.HomeOwner && e.Owner != r && noOtherSharers(e, r, e.Owner)
+	if migratory {
+		n.St.MigratoryUpgrades++
+	} else if e.MigrArmed && e.LastReader != r {
+		e.Migratory = false
+	}
+	e.LastReader = r
+	e.MigrArmed = true
+
+	if e.Owner == directory.HomeOwner {
+		excl := e.Sharers.Count() == 0
+		e.OnDeactivate = func(*msg.Message) {
+			e.Owner = r
+			if fm := n.dir.Enc.Coarseness == 1; fm {
+				e.Sharers.Remove(r)
+			}
+		}
+		n.Env.Eng.After(event.Time(n.dir.DRAMLatency), func(event.Time) {
+			n.Send(&msg.Message{
+				Type: msg.Data, Addr: e.Addr, Dst: r, Requester: r,
+				HasData: true, Owner: true, Exclusive: excl, AcksExpected: 0,
+				Version: e.MemVersion,
+			})
+		})
+		return
+	}
+	owner := e.Owner
+	if migratory {
+		// Migratory optimisation: ask the owner for an exclusive dirty
+		// copy. The owner declines if it never wrote the block, keeping
+		// an S copy, so the commit depends on the reported outcome.
+		e.MigrAttempted = true
+		prev := e.Owner
+		e.OnDeactivate = func(dm *msg.Message) {
+			e.Owner = r
+			if dm.Migratory {
+				e.Sharers.Clear()
+			} else {
+				e.Sharers.Add(prev)
+				if fm := n.dir.Enc.Coarseness == 1; fm {
+					e.Sharers.Remove(r)
+				}
+			}
+		}
+		n.Send(&msg.Message{
+			Type: msg.Fwd, Addr: e.Addr, Dst: owner, Requester: r,
+			ToOwner: true, Migratory: true, AcksExpected: 0,
+		})
+		return
+	}
+	e.OnDeactivate = func(*msg.Message) {
+		prev := e.Owner
+		e.Owner = r
+		e.Sharers.Add(prev)
+		if fm := n.dir.Enc.Coarseness == 1; fm {
+			e.Sharers.Remove(r)
+		}
+	}
+	n.Send(&msg.Message{
+		Type: msg.Fwd, Addr: e.Addr, Dst: owner, Requester: r,
+		ToOwner: true, AcksExpected: 0,
+	})
+}
+
+func noOtherSharers(e *directory.Entry, r, owner msg.NodeID) bool {
+	for _, s := range e.Sharers.Members(r) {
+		if s != owner {
+			return false
+		}
+	}
+	return true
+}
+
+func (n *Node) homeGetM(e *directory.Entry, r msg.NodeID) {
+	// A write by the most recent reader is the migratory hand-off
+	// pattern; a write by anyone else is write sharing.
+	e.Migratory = e.MigrArmed && e.LastReader == r
+	e.MigrArmed = false
+
+	sharers := invalidationTargets(e, r)
+	acks := len(sharers)
+	e.OnDeactivate = func(*msg.Message) {
+		e.Owner = r
+		e.Sharers.Clear()
+	}
+	if e.Owner == directory.HomeOwner {
+		n.Env.Eng.After(event.Time(n.dir.DRAMLatency), func(event.Time) {
+			n.Send(&msg.Message{
+				Type: msg.Data, Addr: e.Addr, Dst: r, Requester: r,
+				HasData: true, Owner: true, Exclusive: acks == 0, AcksExpected: acks,
+				Version: e.MemVersion,
+			})
+		})
+	} else {
+		n.Send(&msg.Message{
+			Type: msg.Fwd, Addr: e.Addr, Dst: e.Owner, Requester: r,
+			ToOwner: true, IsWrite: true, AcksExpected: acks,
+		})
+	}
+	if acks > 0 {
+		n.Multicast(&msg.Message{
+			Type: msg.Fwd, Addr: e.Addr, Requester: r, IsWrite: true,
+		}, sharers)
+	}
+}
+
+func (n *Node) homeUpg(e *directory.Entry, r msg.NodeID) {
+	// The migratory hand-off usually reaches the home as an upgrade
+	// (ownership moved to the reader with its GetS), so the detector
+	// runs here as well as in homeGetM.
+	e.Migratory = e.MigrArmed && e.LastReader == r
+	e.MigrArmed = false
+
+	sharers := invalidationTargets(e, r)
+	acks := len(sharers)
+	e.OnDeactivate = func(*msg.Message) {
+		e.Owner = r
+		e.Sharers.Clear()
+	}
+	n.Send(&msg.Message{Type: msg.AckCount, Addr: e.Addr, Dst: r, Requester: r, AcksExpected: acks})
+	if acks > 0 {
+		n.Multicast(&msg.Message{
+			Type: msg.Fwd, Addr: e.Addr, Requester: r, IsWrite: true,
+		}, sharers)
+	}
+}
+
+// invalidationTargets expands the (possibly inexact) sharer encoding,
+// excluding the requester and the owner (which receives its own forward).
+func invalidationTargets(e *directory.Entry, r msg.NodeID) []msg.NodeID {
+	members := e.Sharers.Members(r)
+	out := members[:0]
+	for _, s := range members {
+		if s != e.Owner {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// homeDeactivate commits the active transaction's directory update and
+// services the next queued request or writeback.
+func (n *Node) homeDeactivate(now event.Time, m *msg.Message) {
+	e := n.dir.Entry(m.Addr)
+	if !e.Busy || e.Active != m.Requester {
+		panic(fmt.Sprintf("directoryproto: home %d: spurious deactivate %v", n.ID, m))
+	}
+	if e.OnDeactivate != nil {
+		e.OnDeactivate(m)
+		e.OnDeactivate = nil
+	}
+	if e.MigrAttempted {
+		// The owner reported (via the requester) whether the conversion
+		// actually happened; an unwritten block is not migrating.
+		if !m.Migratory {
+			e.Migratory = false
+		}
+		e.MigrAttempted = false
+	}
+	if e.Owner != directory.HomeOwner {
+		e.DataAtMemory = false
+	}
+	e.Busy = false
+	e.Active = 0
+	n.drainQueue(now, e)
+}
+
+func (n *Node) drainQueue(now event.Time, e *directory.Entry) {
+	for len(e.Queue) > 0 && !e.Busy {
+		p := e.Queue[0]
+		e.Queue = e.Queue[1:]
+		switch p.Transient.Type {
+		case msg.PutM, msg.PutClean:
+			n.homeWriteback(e, p.Transient)
+		default:
+			n.homeActivate(now, e, p.Transient)
+		}
+	}
+}

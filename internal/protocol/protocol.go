@@ -1,0 +1,214 @@
+// Package protocol holds the plumbing shared by the three coherence
+// protocols in this repository (DIRECTORY, PATCH, TokenB): the node
+// interface the simulator drives, the shared environment (engine,
+// network, latencies, home mapping), per-node cache hierarchy and
+// statistics, and round-trip latency tracking used to size timeouts.
+package protocol
+
+import (
+	"patch/internal/cache"
+	"patch/internal/event"
+	"patch/internal/interconnect"
+	"patch/internal/msg"
+)
+
+// Node is one core's coherence controller (cache side plus the home
+// directory slice for the addresses interleaved to it).
+type Node interface {
+	// Access performs a memory operation. done is invoked (possibly
+	// immediately, possibly cycles later) when the core may proceed.
+	Access(addr msg.Addr, isWrite bool, done func())
+
+	// Handle receives a coherence message from the interconnect.
+	Handle(now event.Time, m *msg.Message)
+
+	// Quiesced reports whether the node has no outstanding protocol work
+	// (used by liveness checking at end of simulation).
+	Quiesced() bool
+}
+
+// Env is the environment shared by all nodes of one simulated system.
+type Env struct {
+	Eng *event.Engine
+	Net *interconnect.Network
+	N   int // number of cores
+
+	BlockSize   int
+	L1Latency   int
+	L2Latency   int
+	DirLatency  int
+	DRAMLatency int
+
+	// L1Bytes and L2Bytes size the private hierarchy (64 KB / 1 MB in the
+	// paper); tests shrink them to force evictions and writeback races.
+	L1Bytes int
+	L2Bytes int
+
+	// Tokens is the per-block token count for token-based protocols
+	// (normally equal to N); 0 for the pure directory protocol.
+	Tokens int
+}
+
+// DefaultEnv fills in the paper's latency parameters (§8.1).
+func DefaultEnv(eng *event.Engine, net *interconnect.Network, n int) *Env {
+	return &Env{
+		Eng: eng, Net: net, N: n,
+		BlockSize:   msg.BlockBytes,
+		L1Latency:   1,
+		L2Latency:   12,
+		DirLatency:  16,
+		DRAMLatency: 80,
+		L1Bytes:     64 << 10,
+		L2Bytes:     1 << 20,
+		Tokens:      n,
+	}
+}
+
+// HomeOf maps a block address to its home node by block interleaving.
+func (e *Env) HomeOf(a msg.Addr) msg.NodeID {
+	return msg.NodeID((uint64(a) / uint64(e.BlockSize)) % uint64(e.N))
+}
+
+// Stats collects the per-node performance counters the experiments
+// aggregate.
+type Stats struct {
+	Loads, Stores     uint64
+	L1Hits, L2Hits    uint64
+	Misses            uint64 // demand misses that went to the protocol
+	MissLatencySum    uint64 // cycles from issue to core restart
+	SharingMisses     uint64 // misses served by another cache
+	MemoryMisses      uint64 // misses served by memory
+	Reissues          uint64 // TokenB reissued requests
+	PersistentReqs    uint64 // TokenB persistent-request escalations
+	TenureTimeouts    uint64 // PATCH untenured-token discards
+	DirectIgnored     uint64 // direct requests ignored by policy
+	DirectResponded   uint64 // direct requests answered with tokens
+	WritebacksDirty   uint64
+	WritebacksClean   uint64
+	UpgradeMisses     uint64
+	MigratoryUpgrades uint64 // GetS converted to exclusive by migratory opt
+}
+
+// Base carries the pieces every protocol node shares: identity, the
+// two-level private cache hierarchy (64 KB L1 filter over a 1 MB L2),
+// statistics, and RTT tracking.
+type Base struct {
+	ID  msg.NodeID
+	Env *Env
+	L1  *cache.Cache
+	L2  *cache.Cache
+	St  Stats
+
+	// Observer, when set, is invoked at the instant each memory operation
+	// is performed, with the block's write version at that point (the
+	// version a load observed, or the version a store produced). Checkers
+	// use it to verify per-core coherence order online.
+	Observer func(addr msg.Addr, isWrite bool, version uint64)
+
+	// avgRTT is an exponentially weighted moving average of observed
+	// request round trips, used by PATCH (tenure timeout = 2x) and TokenB
+	// (reissue timeout = 2x). Initialised from the network diameter.
+	avgRTT float64
+}
+
+// NewBase constructs the cache hierarchy with the paper's sizes.
+func NewBase(id msg.NodeID, env *Env) Base {
+	l1, l2 := env.L1Bytes, env.L2Bytes
+	if l1 <= 0 {
+		l1 = 64 << 10
+	}
+	if l2 <= 0 {
+		l2 = 1 << 20
+	}
+	return Base{
+		ID:     id,
+		Env:    env,
+		L1:     cache.New(cache.Config{SizeBytes: l1, Ways: 4, BlockSize: env.BlockSize}),
+		L2:     cache.New(cache.Config{SizeBytes: l2, Ways: 4, BlockSize: env.BlockSize}),
+		avgRTT: 100,
+	}
+}
+
+// ObservePerform reports a performed operation to the Observer, if any.
+func (b *Base) ObservePerform(addr msg.Addr, isWrite bool, version uint64) {
+	if b.Observer != nil {
+		b.Observer(addr, isWrite, version)
+	}
+}
+
+// ResetStats clears the performance counters (after cache warmup) while
+// preserving cache contents, predictor state and the RTT estimate.
+func (b *Base) ResetStats() {
+	b.St = Stats{}
+	b.L1.ResetCounters()
+	b.L2.ResetCounters()
+}
+
+// ObserveRTT folds a measured round trip into the moving average.
+func (b *Base) ObserveRTT(rtt event.Time) {
+	const alpha = 0.125
+	b.avgRTT = (1-alpha)*b.avgRTT + alpha*float64(rtt)
+}
+
+// Timeout returns the adaptive timeout: twice the average round trip,
+// floored to keep pathological short averages from thrashing.
+func (b *Base) Timeout() event.Time {
+	t := event.Time(2 * b.avgRTT)
+	if t < 64 {
+		t = 64
+	}
+	return t
+}
+
+// Send is a convenience wrapper stamping the source.
+func (b *Base) Send(m *msg.Message) {
+	m.Src = b.ID
+	b.Env.Net.Send(m)
+}
+
+// Multicast stamps the source and fans out.
+func (b *Base) Multicast(m *msg.Message, dsts []msg.NodeID) {
+	m.Src = b.ID
+	b.Env.Net.Multicast(m, dsts)
+}
+
+// OthersExcept returns every node id except self (broadcast destination
+// sets for PATCH-ALL and TokenB).
+func (b *Base) OthersExcept() []msg.NodeID {
+	out := make([]msg.NodeID, 0, b.Env.N-1)
+	for i := 0; i < b.Env.N; i++ {
+		if msg.NodeID(i) != b.ID {
+			out = append(out, msg.NodeID(i))
+		}
+	}
+	return out
+}
+
+// HitLatency models the L1/L2 lookup path for a hit that was filtered at
+// level lvl (1 or 2).
+func (b *Base) HitLatency(lvl int) event.Time {
+	if lvl == 1 {
+		return event.Time(b.Env.L1Latency)
+	}
+	return event.Time(b.Env.L2Latency)
+}
+
+// TouchL1 installs the block in the L1 filter (evictions are silent; L1
+// is a latency filter and coherence lives at the L2).
+func (b *Base) TouchL1(addr msg.Addr) {
+	l, _ := b.L1.Allocate(addr)
+	b.L1.Touch(l)
+}
+
+// InL1 reports an L1 filter hit, updating LRU.
+func (b *Base) InL1(addr msg.Addr) bool {
+	return b.L1.Access(addr) != nil
+}
+
+// InvalidateL1 removes the block from the L1 filter (L1 content must stay
+// a subset of L2 coherence permissions).
+func (b *Base) InvalidateL1(addr msg.Addr) {
+	if l := b.L1.Lookup(addr); l != nil {
+		b.L1.Drop(l)
+	}
+}

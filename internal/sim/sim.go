@@ -1,0 +1,602 @@
+// Package sim assembles and runs whole simulated systems: cores driving
+// a workload, per-core coherence controllers for the selected protocol,
+// the torus interconnect, and the end-of-run invariant checks (token
+// conservation, single-writer/many-readers, liveness).
+package sim
+
+import (
+	"fmt"
+	"os"
+
+	"patch/internal/cache"
+	"patch/internal/core"
+	"patch/internal/directory"
+	"patch/internal/event"
+	"patch/internal/interconnect"
+	"patch/internal/msg"
+	"patch/internal/predictor"
+	"patch/internal/protocol"
+	"patch/internal/protocol/directoryproto"
+	"patch/internal/protocol/tokenb"
+	"patch/internal/token"
+	"patch/internal/trace"
+	"patch/internal/workload"
+)
+
+// Kind selects the coherence protocol.
+type Kind int
+
+const (
+	// Directory is the paper's DIRECTORY baseline.
+	Directory Kind = iota
+	// PATCH is the paper's contribution; its variant is chosen by the
+	// prediction policy and best-effort flag.
+	PATCH
+	// TokenB is broadcast token coherence with persistent requests.
+	TokenB
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Directory:
+		return "Directory"
+	case PATCH:
+		return "PATCH"
+	case TokenB:
+		return "TokenB"
+	}
+	return "Kind(?)"
+}
+
+// Config describes one simulation.
+type Config struct {
+	Protocol   Kind
+	Cores      int
+	OpsPerCore int
+	Seed       int64
+
+	// WarmupOps are per-core operations executed before measurement
+	// begins: caches and predictors warm up, then all statistics reset
+	// and the runtime clock starts (the paper measures warmed workloads).
+	// 0 selects OpsPerCore/2; -1 disables warmup.
+	WarmupOps int
+
+	// Workload is one of workload.Names() or "micro". TraceFile, when
+	// set, overrides it: the reference stream is replayed from a
+	// recorded trace (see workload.Record / workload.ParseTrace).
+	Workload  string
+	TraceFile string
+
+	// Policy and BestEffort select the PATCH variant (§6): None / Owner /
+	// BroadcastIfShared / All, delivered best-effort or guaranteed
+	// (PATCH-ALL-NONADAPTIVE).
+	Policy     predictor.Policy
+	BestEffort bool
+
+	// TenureTimeoutFactor and NoDeactWindow are PATCH ablation knobs
+	// (see core.Config); zero values select the paper's design.
+	TenureTimeoutFactor float64
+	NoDeactWindow       bool
+
+	// Coarseness is the sharer-encoding inexactness (1 = full map,
+	// Cores = single bit), Figures 9-10.
+	Coarseness int
+
+	// Net is the interconnect configuration (bandwidth sweeps, Figures
+	// 6-8).
+	Net interconnect.Config
+
+	// MaxCycles aborts a run that stopped making progress (liveness
+	// watchdog). 0 selects a generous default.
+	MaxCycles uint64
+
+	// SkipChecks disables end-of-run invariant checking (benchmarks).
+	SkipChecks bool
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.Cores == 0 {
+		c.Cores = 64
+	}
+	if c.OpsPerCore == 0 {
+		c.OpsPerCore = 1000
+	}
+	if c.WarmupOps == 0 {
+		c.WarmupOps = c.OpsPerCore
+	}
+	if c.WarmupOps < 0 {
+		c.WarmupOps = 0
+	}
+	if c.Workload == "" {
+		c.Workload = "micro"
+	}
+	if c.Coarseness == 0 {
+		c.Coarseness = 1
+	}
+	if c.Net.BytesPerKiloCycle == 0 && !c.Net.Unbounded {
+		c.Net = interconnect.DefaultConfig()
+	}
+	if c.Net.HopLatency == 0 {
+		c.Net.HopLatency = 3
+	}
+	if c.Net.DropAfter == 0 {
+		c.Net.DropAfter = 100
+	}
+	if c.MaxCycles == 0 {
+		c.MaxCycles = 2_000_000_000
+	}
+	return c
+}
+
+// Result carries everything the experiment harness reports.
+type Result struct {
+	Config Config
+
+	// Cycles is the runtime: the cycle at which the last core finished
+	// its operation stream.
+	Cycles uint64
+
+	Ops    uint64
+	Misses uint64
+
+	// Traffic, in bytes x links, by accounting class, plus totals.
+	BytesByClass [msg.NumClasses]uint64
+	LinkBytes    uint64
+	Dropped      uint64
+
+	// BytesPerMiss is total traffic divided by demand misses, the
+	// paper's Figure 5/10 metric.
+	BytesPerMiss float64
+
+	AvgMissLatency float64
+	Stats          protocol.Stats
+}
+
+// System is an assembled simulation, exposed so tests and examples can
+// reach inside (engine, nodes) while cmd/ and benchmarks just call Run.
+type System struct {
+	Cfg   Config
+	Eng   *event.Engine
+	Net   *interconnect.Network
+	Env   *protocol.Env
+	Nodes []protocol.Node
+	Gen   workload.Generator
+
+	warming      bool
+	warmFinished int
+	finished     int
+	opsIssued    uint64
+	startedAt    event.Time
+	doneAt       event.Time
+
+	// storeCounts tracks stores issued per block (warmup included) for
+	// the end-of-run write-serialisation check: each store increments
+	// the block's version exactly once, so the final maximum version of
+	// a block must equal its store count.
+	storeCounts map[msg.Addr]uint64
+
+	// auditor, when checks are enabled on a token protocol, watches
+	// token-carrying messages enter and leave the network so Rule #1 can
+	// be verified continuously (duplicated owner tokens and lost
+	// messages surface immediately).
+	auditor *trace.Auditor
+
+	// orderViolation records the first per-core coherence-order violation
+	// seen by the online observer (a core reading an older write version
+	// than one it already observed for the block).
+	orderViolation error
+}
+
+// AttachTracer wires a message tracer into the network's delivery hook
+// (composing with any existing hook). Call before Run.
+func (s *System) AttachTracer(tr *trace.Tracer) {
+	prev := s.Net.OnDeliver
+	s.Net.OnDeliver = func(now event.Time, m *msg.Message) {
+		if prev != nil {
+			prev(now, m)
+		}
+		tr.Observe(now, m)
+	}
+}
+
+// NewSystem builds (but does not run) a system.
+func NewSystem(cfg Config) (*System, error) {
+	cfg = cfg.withDefaults()
+	var gen workload.Generator
+	var err error
+	if cfg.TraceFile != "" {
+		f, ferr := os.Open(cfg.TraceFile)
+		if ferr != nil {
+			return nil, ferr
+		}
+		defer f.Close()
+		replay, perr := workload.ParseTrace(f, cfg.Cores)
+		if perr != nil {
+			return nil, perr
+		}
+		if total := replay.Len(); cfg.WarmupOps+cfg.OpsPerCore > total {
+			return nil, fmt.Errorf("sim: trace has %d ops/core, need %d warmup + %d measured",
+				total, cfg.WarmupOps, cfg.OpsPerCore)
+		}
+		gen = replay
+	} else {
+		gen, err = workload.Named(cfg.Workload, cfg.Cores, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+	}
+	eng := &event.Engine{}
+	net := interconnect.New(eng, cfg.Cores, cfg.Net)
+	env := protocol.DefaultEnv(eng, net, cfg.Cores)
+	enc := directory.Encoding{Cores: cfg.Cores, Coarseness: cfg.Coarseness}
+	if err := enc.Validate(); err != nil {
+		return nil, err
+	}
+
+	s := &System{Cfg: cfg, Eng: eng, Net: net, Env: env, Gen: gen}
+	if !cfg.SkipChecks {
+		s.storeCounts = make(map[msg.Addr]uint64)
+		if cfg.Protocol == PATCH || cfg.Protocol == TokenB {
+			s.auditor = trace.NewAuditor(env.Tokens)
+			net.OnSend = func(_ event.Time, m *msg.Message) { s.auditor.Sent(m) }
+			net.OnDeliver = func(_ event.Time, m *msg.Message) { s.auditor.Delivered(m) }
+		}
+	}
+	s.Nodes = make([]protocol.Node, cfg.Cores)
+	for i := 0; i < cfg.Cores; i++ {
+		id := msg.NodeID(i)
+		switch cfg.Protocol {
+		case Directory:
+			s.Nodes[i] = directoryproto.New(id, env, enc)
+		case PATCH:
+			s.Nodes[i] = core.New(id, env, enc, core.Config{
+				Policy: cfg.Policy, BestEffort: cfg.BestEffort,
+				TenureTimeoutFactor: cfg.TenureTimeoutFactor,
+				NoDeactWindow:       cfg.NoDeactWindow,
+			})
+		case TokenB:
+			s.Nodes[i] = tokenb.New(id, env)
+		default:
+			return nil, fmt.Errorf("sim: unknown protocol %v", cfg.Protocol)
+		}
+		n := s.Nodes[i]
+		if !cfg.SkipChecks {
+			s.attachOrderChecker(i)
+		}
+		net.Register(id, n.Handle)
+	}
+	return s, nil
+}
+
+// attachOrderChecker installs an online per-core coherence-order monitor:
+// each core must observe non-decreasing write versions per block.
+func (s *System) attachOrderChecker(i int) {
+	lastSeen := make(map[msg.Addr]uint64)
+	obs := func(addr msg.Addr, isWrite bool, version uint64) {
+		if prev, ok := lastSeen[addr]; ok && version < prev && s.orderViolation == nil {
+			s.orderViolation = fmt.Errorf(
+				"sim: coherence order violated: core %d observed version %d after %d for %#x",
+				i, version, prev, uint64(addr))
+		}
+		lastSeen[addr] = version
+	}
+	switch v := s.Nodes[i].(type) {
+	case *directoryproto.Node:
+		v.Observer = obs
+	case *core.Node:
+		v.Observer = obs
+	case *tokenb.Node:
+		v.Observer = obs
+	}
+}
+
+// start seeds each core's operation loop: an optional warmup phase with
+// a barrier, then the measured phase.
+func (s *System) start() {
+	if s.Cfg.WarmupOps > 0 {
+		s.warming = true
+		for c := 0; c < s.Cfg.Cores; c++ {
+			s.issueWarm(c, s.Cfg.WarmupOps)
+		}
+		return
+	}
+	s.beginMeasurement()
+}
+
+func (s *System) issueWarm(c, remaining int) {
+	if remaining == 0 {
+		s.warmFinished++
+		if s.warmFinished == s.Cfg.Cores {
+			s.beginMeasurement()
+		}
+		return
+	}
+	op := s.Gen.Next(c)
+	if op.Write && s.storeCounts != nil {
+		s.storeCounts[op.Addr]++
+	}
+	s.Eng.After(event.Time(op.Think), func(event.Time) {
+		s.Nodes[c].Access(op.Addr, op.Write, func() {
+			s.issueWarm(c, remaining-1)
+		})
+	})
+}
+
+// beginMeasurement resets statistics (caches stay warm) and releases
+// every core into the measured phase.
+func (s *System) beginMeasurement() {
+	s.warming = false
+	s.Net.Stats = interconnect.LinkStats{}
+	for _, n := range s.Nodes {
+		resetNodeStats(n)
+	}
+	s.startedAt = s.Eng.Now()
+	for c := 0; c < s.Cfg.Cores; c++ {
+		s.issue(c, s.Cfg.OpsPerCore)
+	}
+}
+
+func resetNodeStats(n protocol.Node) {
+	switch v := n.(type) {
+	case *directoryproto.Node:
+		v.ResetStats()
+	case *core.Node:
+		v.ResetStats()
+	case *tokenb.Node:
+		v.ResetStats()
+	}
+}
+
+func (s *System) issue(c, remaining int) {
+	if remaining == 0 {
+		s.finished++
+		if s.finished == s.Cfg.Cores {
+			s.doneAt = s.Eng.Now()
+		}
+		return
+	}
+	op := s.Gen.Next(c)
+	if op.Write && s.storeCounts != nil {
+		s.storeCounts[op.Addr]++
+	}
+	s.Eng.After(event.Time(op.Think), func(event.Time) {
+		s.opsIssued++
+		s.Nodes[c].Access(op.Addr, op.Write, func() {
+			s.issue(c, remaining-1)
+		})
+	})
+}
+
+// Run executes the simulation to completion and returns the results.
+func Run(cfg Config) (*Result, error) {
+	s, err := NewSystem(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run()
+}
+
+// Run executes an assembled system.
+func (s *System) Run() (*Result, error) {
+	s.start()
+	const chunk = 4 << 20
+	for {
+		n := s.Eng.Run(chunk)
+		if uint64(s.Eng.Now()) > s.Cfg.MaxCycles {
+			return nil, fmt.Errorf("sim: liveness watchdog: %d cycles elapsed, %d/%d cores finished (%s on %s)",
+				s.Eng.Now(), s.finished, s.Cfg.Cores, s.Cfg.Protocol, s.Cfg.Workload)
+		}
+		if n < chunk {
+			break // queue drained
+		}
+	}
+	if s.finished != s.Cfg.Cores {
+		return nil, fmt.Errorf("sim: deadlock: event queue empty with %d/%d cores finished (%s on %s)",
+			s.finished, s.Cfg.Cores, s.Cfg.Protocol, s.Cfg.Workload)
+	}
+	if !s.Cfg.SkipChecks {
+		if err := s.CheckInvariants(); err != nil {
+			return nil, err
+		}
+	}
+	return s.collect(), nil
+}
+
+func (s *System) collect() *Result {
+	r := &Result{Config: s.Cfg, Cycles: uint64(s.doneAt - s.startedAt), Ops: s.opsIssued}
+	ns := s.Net.Stats
+	r.BytesByClass = ns.BytesByClass
+	r.LinkBytes = ns.LinkBytes
+	r.Dropped = ns.Dropped
+	for _, n := range s.Nodes {
+		st := nodeStats(n)
+		r.Misses += st.Misses
+		addStats(&r.Stats, st)
+	}
+	if r.Misses > 0 {
+		r.BytesPerMiss = float64(r.LinkBytes) / float64(r.Misses)
+		r.AvgMissLatency = float64(r.Stats.MissLatencySum) / float64(r.Misses)
+	}
+	return r
+}
+
+func nodeStats(n protocol.Node) protocol.Stats {
+	switch v := n.(type) {
+	case *directoryproto.Node:
+		return v.St
+	case *core.Node:
+		return v.St
+	case *tokenb.Node:
+		return v.St
+	}
+	return protocol.Stats{}
+}
+
+func addStats(dst *protocol.Stats, src protocol.Stats) {
+	dst.Loads += src.Loads
+	dst.Stores += src.Stores
+	dst.L1Hits += src.L1Hits
+	dst.L2Hits += src.L2Hits
+	dst.Misses += src.Misses
+	dst.MissLatencySum += src.MissLatencySum
+	dst.SharingMisses += src.SharingMisses
+	dst.MemoryMisses += src.MemoryMisses
+	dst.Reissues += src.Reissues
+	dst.PersistentReqs += src.PersistentReqs
+	dst.TenureTimeouts += src.TenureTimeouts
+	dst.DirectIgnored += src.DirectIgnored
+	dst.DirectResponded += src.DirectResponded
+	dst.WritebacksDirty += src.WritebacksDirty
+	dst.WritebacksClean += src.WritebacksClean
+	dst.UpgradeMisses += src.UpgradeMisses
+	dst.MigratoryUpgrades += src.MigratoryUpgrades
+}
+
+// CheckInvariants verifies end-of-run correctness: every controller
+// quiesced, token conservation (Rule #1) for token-based protocols, and
+// the single-writer/many-readers invariant over final cache states.
+func (s *System) CheckInvariants() error {
+	for i, n := range s.Nodes {
+		if !n.Quiesced() {
+			return fmt.Errorf("sim: node %d not quiesced at end of run", i)
+		}
+	}
+	switch s.Cfg.Protocol {
+	case PATCH:
+		var holders []token.Holder
+		for _, n := range s.Nodes {
+			pn := n.(*core.Node)
+			holders = append(holders, pn.Cache(), pn.Directory())
+		}
+		if err := token.CheckConservation(s.Env.Tokens, holders, nil); err != nil {
+			return err
+		}
+	case TokenB:
+		var holders []token.Holder
+		for _, n := range s.Nodes {
+			tn := n.(*tokenb.Node)
+			holders = append(holders, tn.L2, tn.Memory())
+		}
+		if err := token.CheckConservation(s.Env.Tokens, holders, nil); err != nil {
+			return err
+		}
+	}
+	if err := s.checkSingleWriter(); err != nil {
+		return err
+	}
+	if s.auditor != nil {
+		if err := s.auditor.Err(); err != nil {
+			return err
+		}
+		if !s.auditor.QuiescentOK() {
+			return fmt.Errorf("sim: tokens still in flight at quiescence (lost message?)")
+		}
+	}
+	if s.orderViolation != nil {
+		return s.orderViolation
+	}
+	return s.checkWriteSerialization()
+}
+
+// checkWriteSerialization verifies end to end that no store was lost or
+// duplicated: every store bumped its block's version exactly once under
+// the single-writer invariant, so the final maximum version of each
+// block (across caches and the home memory) must equal the number of
+// stores issued to it.
+func (s *System) checkWriteSerialization() error {
+	if s.storeCounts == nil {
+		return nil
+	}
+	maxVersion := make(map[msg.Addr]uint64, len(s.storeCounts))
+	consider := func(a msg.Addr, v uint64) {
+		if v > maxVersion[a] {
+			maxVersion[a] = v
+		}
+	}
+	for _, n := range s.Nodes {
+		var c *cache.Cache
+		switch v := n.(type) {
+		case *directoryproto.Node:
+			c = v.L2
+		case *core.Node:
+			c = v.L2
+		case *tokenb.Node:
+			c = v.L2
+		}
+		c.ForEach(func(l *cache.Line) { consider(l.Addr, l.Version) })
+		switch v := n.(type) {
+		case *directoryproto.Node:
+			v.Directory().ForEach(func(e *directory.Entry) { consider(e.Addr, e.MemVersion) })
+		case *core.Node:
+			v.Directory().ForEach(func(e *directory.Entry) { consider(e.Addr, e.MemVersion) })
+		case *tokenb.Node:
+			v.Memory().ForEach(func(e *directory.Entry) { consider(e.Addr, e.MemVersion) })
+		}
+	}
+	for a, want := range s.storeCounts {
+		if got := maxVersion[a]; got != want {
+			return fmt.Errorf("sim: write serialisation violated at %#x: final version %d, %d stores issued",
+				uint64(a), got, want)
+		}
+	}
+	return nil
+}
+
+// checkSingleWriter validates MOESI compatibility across all caches:
+// at most one writer (M/E), and never a writer coexisting with any other
+// copy.
+func (s *System) checkSingleWriter() error {
+	type blockView struct {
+		writers int
+		holders int
+		owners  int
+	}
+	views := make(map[msg.Addr]*blockView)
+	for _, n := range s.Nodes {
+		var c *cache.Cache
+		switch v := n.(type) {
+		case *directoryproto.Node:
+			c = v.L2
+		case *core.Node:
+			c = v.L2
+		case *tokenb.Node:
+			c = v.L2
+		}
+		c.ForEach(func(l *cache.Line) {
+			st := l.MOESI
+			if s.Cfg.Protocol != Directory {
+				st = l.Tok.ToMOESI(s.Env.Tokens)
+			}
+			if st == token.I {
+				return
+			}
+			v := views[l.Addr]
+			if v == nil {
+				v = &blockView{}
+				views[l.Addr] = v
+			}
+			v.holders++
+			switch st {
+			case token.M, token.E:
+				v.writers++
+			}
+			switch st {
+			case token.M, token.E, token.O, token.F:
+				v.owners++
+			}
+		})
+	}
+	for a, v := range views {
+		if v.writers > 1 {
+			return fmt.Errorf("sim: %d writable copies of %#x", v.writers, uint64(a))
+		}
+		if v.writers == 1 && v.holders > 1 {
+			return fmt.Errorf("sim: writable copy of %#x coexists with %d other copies", uint64(a), v.holders-1)
+		}
+		if v.owners > 1 {
+			return fmt.Errorf("sim: %d owners of %#x", v.owners, uint64(a))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,71 @@
+package sim
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"patch/internal/predictor"
+	"patch/internal/workload"
+)
+
+// TestTraceReplayMatchesGenerator records a workload to a trace file and
+// verifies that replaying it produces the identical simulation result.
+func TestTraceReplayMatchesGenerator(t *testing.T) {
+	const cores, ops, warm = 8, 150, 150
+	gen, err := workload.Named("oltp", cores, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "oltp.trace")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := workload.Record(f, gen, cores, ops+warm); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	base := Config{
+		Protocol: PATCH, Policy: predictor.All, BestEffort: true,
+		Cores: cores, OpsPerCore: ops, WarmupOps: warm, Seed: 5,
+		Workload: "oltp",
+	}
+	direct, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayCfg := base
+	replayCfg.TraceFile = path
+	replayed, err := Run(replayCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct.Cycles != replayed.Cycles || direct.Misses != replayed.Misses || direct.LinkBytes != replayed.LinkBytes {
+		t.Fatalf("replay diverged: direct %+v vs replay %+v", direct, replayed)
+	}
+}
+
+func TestTraceReplayTooShortRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "short.trace")
+	gen, _ := workload.Named("micro", 4, 1)
+	f, _ := os.Create(path)
+	if err := workload.Record(f, gen, 4, 10); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	_, err := Run(Config{
+		Protocol: Directory, Cores: 4, OpsPerCore: 100, WarmupOps: 100, TraceFile: path,
+	})
+	if err == nil {
+		t.Fatal("under-length trace accepted")
+	}
+}
+
+func TestTraceFileMissing(t *testing.T) {
+	_, err := Run(Config{Protocol: Directory, Cores: 4, OpsPerCore: 10, TraceFile: "/nonexistent/file.trace"})
+	if err == nil {
+		t.Fatal("missing trace file accepted")
+	}
+}

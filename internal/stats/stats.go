@@ -1,0 +1,88 @@
+// Package stats provides the summary statistics used by the experiment
+// harness: sample mean, standard deviation, and Student-t 95% confidence
+// intervals over multiple seeded runs, following the paper's methodology
+// of plotting confidence intervals from perturbed runs.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Summary describes a set of runs of one configuration.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64
+	// CI95 is the half-width of the 95% confidence interval of the mean.
+	CI95 float64
+}
+
+// tTable holds two-sided 95% Student-t critical values for small sample
+// sizes (df = n-1); beyond the table the normal approximation is used.
+var tTable = []float64{
+	0, 12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262,
+	2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+}
+
+// tCrit returns the 95% two-sided critical value for df degrees of
+// freedom.
+func tCrit(df int) float64 {
+	if df <= 0 {
+		return 0
+	}
+	if df < len(tTable) {
+		return tTable[df]
+	}
+	return 1.960
+}
+
+// Summarize computes the summary of a sample.
+func Summarize(xs []float64) Summary {
+	n := len(xs)
+	if n == 0 {
+		return Summary{}
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	mean := sum / float64(n)
+	if n == 1 {
+		return Summary{N: 1, Mean: mean}
+	}
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	sd := math.Sqrt(ss / float64(n-1))
+	ci := tCrit(n-1) * sd / math.Sqrt(float64(n))
+	return Summary{N: n, Mean: mean, StdDev: sd, CI95: ci}
+}
+
+// String renders "mean ± ci".
+func (s Summary) String() string {
+	if s.N <= 1 {
+		return fmt.Sprintf("%.4g", s.Mean)
+	}
+	return fmt.Sprintf("%.4g ± %.2g", s.Mean, s.CI95)
+}
+
+// Ratio returns a/b, guarding the denominator.
+func Ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// Normalize divides each sample by the baseline mean, yielding the
+// paper's "normalized runtime/traffic" form.
+func Normalize(xs []float64, baseline Summary) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = Ratio(x, baseline.Mean)
+	}
+	return out
+}

@@ -1,0 +1,107 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 {
+		t.Fatalf("empty summary: %+v", s)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{42})
+	if s.N != 1 || s.Mean != 42 || s.CI95 != 0 {
+		t.Fatalf("single summary: %+v", s)
+	}
+}
+
+func TestSummarizeKnown(t *testing.T) {
+	// mean 4, sample sd 2.160247 over [2,4,6] -> CI = 4.303*sd/sqrt(3)
+	s := Summarize([]float64{2, 4, 6})
+	if s.Mean != 4 {
+		t.Fatalf("mean = %f", s.Mean)
+	}
+	if math.Abs(s.StdDev-2) > 1e-9 {
+		t.Fatalf("sd = %f, want 2", s.StdDev)
+	}
+	want := 4.303 * 2 / math.Sqrt(3)
+	if math.Abs(s.CI95-want) > 1e-6 {
+		t.Fatalf("ci = %f, want %f", s.CI95, want)
+	}
+}
+
+func TestTCritBounds(t *testing.T) {
+	if tCrit(0) != 0 {
+		t.Fatal("df=0 must yield 0")
+	}
+	if tCrit(1) != 12.706 {
+		t.Fatal("df=1 wrong")
+	}
+	if tCrit(100) != 1.960 {
+		t.Fatal("large df should fall back to normal")
+	}
+	// Critical values decrease with df.
+	for df := 2; df < 25; df++ {
+		if tCrit(df) > tCrit(df-1) {
+			t.Fatalf("tCrit not monotone at df=%d", df)
+		}
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(6, 3) != 2 {
+		t.Fatal("ratio wrong")
+	}
+	if Ratio(1, 0) != 0 {
+		t.Fatal("zero denominator must not panic")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	base := Summarize([]float64{10, 10})
+	got := Normalize([]float64{5, 20}, base)
+	if got[0] != 0.5 || got[1] != 2 {
+		t.Fatalf("normalize = %v", got)
+	}
+}
+
+func TestString(t *testing.T) {
+	if s := Summarize([]float64{1}).String(); s != "1" {
+		t.Fatalf("single-sample string %q", s)
+	}
+	multi := Summarize([]float64{1, 2, 3}).String()
+	if multi == "" || multi == "2" {
+		t.Fatalf("multi-sample string %q should include CI", multi)
+	}
+}
+
+// TestPropertyMeanWithinRange: the mean always lies within [min, max].
+func TestPropertyMeanWithinRange(t *testing.T) {
+	f := func(xs []float64) bool {
+		// Filter NaN/Inf inputs.
+		var clean []float64
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e12 {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		s := Summarize(clean)
+		lo, hi := clean[0], clean[0]
+		for _, x := range clean {
+			lo = math.Min(lo, x)
+			hi = math.Max(hi, x)
+		}
+		return s.Mean >= lo-1e-9 && s.Mean <= hi+1e-9 && s.StdDev >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,141 @@
+// Package topology models the 2D-torus interconnect geometry used by the
+// paper's evaluation: node coordinates, dimension-order routes, and
+// bandwidth-efficient fan-out multicast trees.
+package topology
+
+import "fmt"
+
+// Torus is a W x H two-dimensional torus of nodes numbered row-major.
+type Torus struct {
+	W, H int
+}
+
+// New returns a torus with n nodes arranged as close to square as
+// possible (the paper's systems are powers of two: 4..512 cores).
+func New(n int) Torus {
+	if n <= 0 {
+		panic(fmt.Sprintf("topology: invalid node count %d", n))
+	}
+	w := 1
+	for w*w < n {
+		w *= 2
+	}
+	// w is the smallest power of two with w*w >= n; try w x (n/w).
+	for w > 1 && n%w != 0 {
+		w /= 2
+	}
+	return Torus{W: w, H: n / w}
+}
+
+// Nodes returns the number of nodes in the torus.
+func (t Torus) Nodes() int { return t.W * t.H }
+
+// Coord returns the (x, y) coordinate of node id.
+func (t Torus) Coord(id int) (x, y int) { return id % t.W, id / t.W }
+
+// ID returns the node id at coordinate (x, y), wrapping around the torus.
+func (t Torus) ID(x, y int) int {
+	x = ((x % t.W) + t.W) % t.W
+	y = ((y % t.H) + t.H) % t.H
+	return y*t.W + x
+}
+
+// Link identifies a unidirectional link from one node to a neighbour.
+type Link struct {
+	From, To int
+}
+
+// step returns the next hop from coordinate a toward coordinate b along
+// one dimension of size n, moving in the shorter direction around the
+// ring (ties go in the increasing direction).
+func step(a, b, n int) int {
+	if a == b {
+		return a
+	}
+	fwd := ((b - a) + n) % n
+	bwd := ((a - b) + n) % n
+	if fwd <= bwd {
+		return (a + 1) % n
+	}
+	return (a - 1 + n) % n
+}
+
+// Route returns the sequence of links from src to dst using
+// dimension-order (X then Y) routing with shortest wrap-around.
+// An empty slice is returned when src == dst.
+func (t Torus) Route(src, dst int) []Link {
+	if src == dst {
+		return nil
+	}
+	var links []Link
+	x, y := t.Coord(src)
+	dx, dy := t.Coord(dst)
+	cur := src
+	for x != dx {
+		x = step(x, dx, t.W)
+		next := t.ID(x, y)
+		links = append(links, Link{cur, next})
+		cur = next
+	}
+	for y != dy {
+		y = step(y, dy, t.H)
+		next := t.ID(x, y)
+		links = append(links, Link{cur, next})
+		cur = next
+	}
+	return links
+}
+
+// Distance returns the hop count from src to dst.
+func (t Torus) Distance(src, dst int) int {
+	x, y := t.Coord(src)
+	dx, dy := t.Coord(dst)
+	return ringDist(x, dx, t.W) + ringDist(y, dy, t.H)
+}
+
+func ringDist(a, b, n int) int {
+	d := ((b - a) + n) % n
+	if n-d < d {
+		d = n - d
+	}
+	return d
+}
+
+// MaxDistance returns the network diameter in hops.
+func (t Torus) MaxDistance() int { return t.W/2 + t.H/2 }
+
+// MulticastTree computes a fan-out multicast tree from src covering every
+// destination in dsts. The tree is the union of dimension-order routes,
+// deduplicated so each link appears once: this models the paper's
+// bandwidth-efficient fan-out multicast where a multi-destination message
+// crosses each tree link a single time.
+//
+// The returned map gives, for each node in the tree, the links leaving it
+// (its children edges). Traversal from src reaches every destination.
+func (t Torus) MulticastTree(src int, dsts []int) map[int][]Link {
+	tree := make(map[int][]Link)
+	seen := make(map[Link]bool)
+	for _, d := range dsts {
+		if d == src {
+			continue
+		}
+		for _, l := range t.Route(src, d) {
+			if seen[l] {
+				continue
+			}
+			seen[l] = true
+			tree[l.From] = append(tree[l.From], l)
+		}
+	}
+	return tree
+}
+
+// TreeLinkCount returns the number of distinct links in the multicast
+// tree from src to dsts (used in traffic accounting tests).
+func (t Torus) TreeLinkCount(src int, dsts []int) int {
+	n := 0
+	for _, ls := range t.MulticastTree(src, dsts) {
+		n += len(ls)
+	}
+	return n
+}

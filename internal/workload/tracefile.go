@@ -1,0 +1,125 @@
+// Trace-file support: reference streams can be recorded to a portable
+// text format and replayed later, so a measured run can be reproduced
+// exactly, shared, or fed to an external tool. Each line is
+//
+//	<core> <R|W> <hex block address> <think cycles>
+//
+// with '#' comments and blank lines ignored.
+
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"patch/internal/msg"
+)
+
+// Record captures the next n operations per core from a generator and
+// writes them as a trace.
+func Record(w io.Writer, g Generator, cores, opsPerCore int) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# workload %s, %d cores, %d ops/core\n", g.Name(), cores, opsPerCore)
+	for i := 0; i < opsPerCore; i++ {
+		for c := 0; c < cores; c++ {
+			op := g.Next(c)
+			kind := "R"
+			if op.Write {
+				kind = "W"
+			}
+			fmt.Fprintf(bw, "%d %s %x %d\n", c, kind, uint64(op.Addr), op.Think)
+		}
+	}
+	return bw.Flush()
+}
+
+// TraceReplay replays a previously recorded trace. Each core's stream is
+// replayed in recorded order; a core that exhausts its stream repeats
+// its last operation (harmless for fixed-length runs sized to the
+// trace).
+type TraceReplay struct {
+	name    string
+	streams [][]Op
+	pos     []int
+}
+
+// ParseTrace reads a trace for n cores.
+func ParseTrace(r io.Reader, n int) (*TraceReplay, error) {
+	t := &TraceReplay{name: "trace", streams: make([][]Op, n), pos: make([]int, n)}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 4 {
+			return nil, fmt.Errorf("workload: trace line %d: want 4 fields, got %d", lineNo, len(fields))
+		}
+		core, err := strconv.Atoi(fields[0])
+		if err != nil || core < 0 || core >= n {
+			return nil, fmt.Errorf("workload: trace line %d: bad core %q", lineNo, fields[0])
+		}
+		var write bool
+		switch fields[1] {
+		case "R":
+		case "W":
+			write = true
+		default:
+			return nil, fmt.Errorf("workload: trace line %d: kind %q is not R or W", lineNo, fields[1])
+		}
+		addr, err := strconv.ParseUint(fields[2], 16, 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace line %d: bad address %q", lineNo, fields[2])
+		}
+		if addr%BlockSize != 0 {
+			return nil, fmt.Errorf("workload: trace line %d: address %#x not block aligned", lineNo, addr)
+		}
+		think, err := strconv.Atoi(fields[3])
+		if err != nil || think < 0 {
+			return nil, fmt.Errorf("workload: trace line %d: bad think time %q", lineNo, fields[3])
+		}
+		t.streams[core] = append(t.streams[core], Op{Addr: msg.Addr(addr), Write: write, Think: think})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for c, s := range t.streams {
+		if len(s) == 0 {
+			return nil, fmt.Errorf("workload: trace has no operations for core %d", c)
+		}
+	}
+	return t, nil
+}
+
+// Name implements Generator.
+func (t *TraceReplay) Name() string { return t.name }
+
+// Len returns the shortest per-core stream length (the safe ops/core).
+func (t *TraceReplay) Len() int {
+	n := len(t.streams[0])
+	for _, s := range t.streams[1:] {
+		if len(s) < n {
+			n = len(s)
+		}
+	}
+	return n
+}
+
+// Next implements Generator.
+func (t *TraceReplay) Next(core int) Op {
+	s := t.streams[core]
+	i := t.pos[core]
+	if i >= len(s) {
+		i = len(s) - 1 // repeat the last op if over-driven
+	} else {
+		t.pos[core]++
+	}
+	return s[i]
+}

@@ -1,0 +1,267 @@
+// Package workload generates the memory-reference streams driving the
+// simulations. The paper evaluates two SPLASH-2 applications (barnes,
+// ocean), three Wisconsin Commercial Workload Suite applications (oltp,
+// apache, jbb) — each run as four concurrent 16-core copies on a 64-core
+// system — plus a microbenchmark where every core writes a random entry
+// of a 16K-location table 30% of the time and reads one 70% of the time.
+//
+// Full traces of those applications are not available, so each workload
+// is a parameterised synthetic generator reproducing its sharing-pattern
+// mix: private references, read-shared data, migratory (lock-protected)
+// blocks, producer–consumer neighbour communication, and streaming
+// references that produce capacity misses. The protocols under study
+// differentiate only on this sharing behaviour, which is what the
+// parameters control (see DESIGN.md §2 for the substitution argument).
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"patch/internal/msg"
+)
+
+// Op is one memory reference by a core: the block address, the kind, and
+// the number of non-memory "think" cycles preceding it.
+type Op struct {
+	Addr  msg.Addr
+	Write bool
+	Think int
+}
+
+// Generator produces each core's reference stream deterministically for
+// a given seed.
+type Generator interface {
+	Name() string
+	// Next returns the core's next operation.
+	Next(core int) Op
+}
+
+// Region base addresses. Keeping regions disjoint makes traces easy to
+// audit; block addresses are always aligned to BlockSize.
+const (
+	BlockSize     = msg.BlockBytes
+	privateBase   = 1 << 36
+	sharedBase    = 2 << 36
+	migratoryBase = 3 << 36
+	prodConsBase  = 4 << 36
+	streamBase    = 5 << 36
+	regionStride  = 0x0100_0000 // 16 MB per core/domain within a region
+)
+
+// Mix parameterises a synthetic application workload.
+type Mix struct {
+	// Label names the workload ("oltp", ...).
+	Label string
+
+	// DomainCores groups cores into consolidation domains (the paper runs
+	// four 16-core copies); sharing never crosses a domain.
+	DomainCores int
+
+	// Fractions of references by category (must sum to <= 1; the
+	// remainder is private). Each category produces the sharing pattern
+	// its name suggests.
+	SharedReadFrac float64 // read-mostly shared data
+	MigratoryFrac  float64 // read-modify-write migratory blocks
+	ProdConsFrac   float64 // neighbour producer-consumer pairs
+	StreamFrac     float64 // streaming walk causing capacity misses
+
+	// PrivateWriteFrac is the store ratio within private references;
+	// SharedWriteFrac the (small) store ratio to read-mostly data.
+	PrivateWriteFrac float64
+	SharedWriteFrac  float64
+
+	// Working-set sizes in blocks.
+	PrivateBlocks   int
+	SharedBlocks    int
+	MigratoryBlocks int
+	ProdConsBlocks  int
+
+	// ThinkMean is the mean think time between references, in cycles.
+	ThinkMean int
+}
+
+// mixGen drives a Mix.
+type mixGen struct {
+	mix   Mix
+	cores int
+	rngs  []*rand.Rand
+	// pendingWrite holds the write half of a migratory read-modify-write
+	// pair per core.
+	pendingWrite []msg.Addr
+	streamPos    []int
+}
+
+// NewMix builds a generator for n cores with the given seed.
+func NewMix(mix Mix, n int, seed int64) Generator {
+	g := &mixGen{mix: mix, cores: n}
+	g.rngs = make([]*rand.Rand, n)
+	g.pendingWrite = make([]msg.Addr, n)
+	g.streamPos = make([]int, n)
+	for i := range g.rngs {
+		g.rngs[i] = rand.New(rand.NewSource(seed*7919 + int64(i)*104729 + 1))
+	}
+	if mix.DomainCores <= 0 {
+		g.mix.DomainCores = n
+	}
+	return g
+}
+
+func (g *mixGen) Name() string { return g.mix.Label }
+
+func (g *mixGen) think(r *rand.Rand) int {
+	if g.mix.ThinkMean <= 0 {
+		return 0
+	}
+	// Geometric-ish: uniform in [1, 2*mean).
+	return 1 + r.Intn(2*g.mix.ThinkMean)
+}
+
+func blockAddr(base uint64, idx int) msg.Addr {
+	return msg.Addr(base + uint64(idx)*BlockSize)
+}
+
+func (g *mixGen) Next(core int) Op {
+	r := g.rngs[core]
+	m := &g.mix
+	domain := core / m.DomainCores
+	domBase := func(base uint64) uint64 { return base + uint64(domain)*regionStride }
+
+	// Complete a migratory read-modify-write pair.
+	if g.pendingWrite[core] != 0 {
+		a := g.pendingWrite[core]
+		g.pendingWrite[core] = 0
+		return Op{Addr: a, Write: true, Think: 1 + r.Intn(4)}
+	}
+
+	p := r.Float64()
+	switch {
+	case p < m.SharedReadFrac:
+		a := blockAddr(domBase(sharedBase), r.Intn(m.SharedBlocks))
+		return Op{Addr: a, Write: r.Float64() < m.SharedWriteFrac, Think: g.think(r)}
+	case p < m.SharedReadFrac+m.MigratoryFrac:
+		a := blockAddr(domBase(migratoryBase), r.Intn(m.MigratoryBlocks))
+		g.pendingWrite[core] = a // read now, write next
+		return Op{Addr: a, Write: false, Think: g.think(r)}
+	case p < m.SharedReadFrac+m.MigratoryFrac+m.ProdConsFrac:
+		// Even ops write our outbox, odd ops read the left neighbour's.
+		inDomain := core % m.DomainCores
+		slot := r.Intn(m.ProdConsBlocks)
+		if r.Intn(2) == 0 {
+			a := blockAddr(domBase(prodConsBase)+uint64(inDomain)*0x10000, slot)
+			return Op{Addr: a, Write: true, Think: g.think(r)}
+		}
+		left := (inDomain + m.DomainCores - 1) % m.DomainCores
+		a := blockAddr(domBase(prodConsBase)+uint64(left)*0x10000, slot)
+		return Op{Addr: a, Write: false, Think: g.think(r)}
+	case p < m.SharedReadFrac+m.MigratoryFrac+m.ProdConsFrac+m.StreamFrac:
+		g.streamPos[core]++
+		a := blockAddr(streamBase+uint64(core)*regionStride, g.streamPos[core]%(1<<18))
+		return Op{Addr: a, Write: r.Float64() < m.PrivateWriteFrac, Think: g.think(r)}
+	default:
+		a := blockAddr(privateBase+uint64(core)*regionStride, r.Intn(m.PrivateBlocks))
+		return Op{Addr: a, Write: r.Float64() < m.PrivateWriteFrac, Think: g.think(r)}
+	}
+}
+
+// Micro is the scalability microbenchmark from §8.1: uniform random
+// references over a 16K-entry shared table, 30% writes.
+type Micro struct {
+	rngs   []*rand.Rand
+	blocks int
+	think  int
+}
+
+// NewMicro builds the microbenchmark for n cores.
+func NewMicro(n int, seed int64) Generator {
+	g := &Micro{blocks: 16 * 1024, think: 4}
+	g.rngs = make([]*rand.Rand, n)
+	for i := range g.rngs {
+		g.rngs[i] = rand.New(rand.NewSource(seed*31337 + int64(i)*7 + 1))
+	}
+	return g
+}
+
+func (g *Micro) Name() string { return "micro" }
+
+// Next implements Generator.
+func (g *Micro) Next(core int) Op {
+	r := g.rngs[core]
+	return Op{
+		Addr:  blockAddr(sharedBase, r.Intn(g.blocks)),
+		Write: r.Float64() < 0.30,
+		Think: 1 + r.Intn(2*g.think),
+	}
+}
+
+// Named returns the synthetic mix for one of the paper's five workloads.
+// The parameters encode each application's qualitative sharing character
+// (see the package comment); n is the core count and seed the random
+// seed.
+func Named(name string, n int, seed int64) (Generator, error) {
+	dom := 16
+	if n < 16 {
+		dom = n
+	}
+	mixes := map[string]Mix{
+		// barnes: N-body tree with migratory body updates and moderate
+		// read sharing of tree cells.
+		"barnes": {
+			Label: "barnes", DomainCores: dom,
+			SharedReadFrac: 0.22, MigratoryFrac: 0.10, ProdConsFrac: 0.03, StreamFrac: 0.02,
+			PrivateWriteFrac: 0.30, SharedWriteFrac: 0.04,
+			PrivateBlocks: 2 << 10, SharedBlocks: 1 << 10, MigratoryBlocks: 256, ProdConsBlocks: 32,
+			ThinkMean: 6,
+		},
+		// ocean: grid solver — mostly private with nearest-neighbour
+		// boundary exchange and heavy streaming (high capacity-miss
+		// rate, the paper's most bandwidth-hungry workload).
+		"ocean": {
+			Label: "ocean", DomainCores: dom,
+			SharedReadFrac: 0.04, MigratoryFrac: 0.01, ProdConsFrac: 0.12, StreamFrac: 0.22,
+			PrivateWriteFrac: 0.35, SharedWriteFrac: 0.05,
+			PrivateBlocks: 3 << 10, SharedBlocks: 512, MigratoryBlocks: 64, ProdConsBlocks: 64,
+			ThinkMean: 4,
+		},
+		// oltp: transaction processing — lock-dominated migratory
+		// sharing and substantial read sharing; the paper's biggest
+		// beneficiary of direct requests.
+		"oltp": {
+			Label: "oltp", DomainCores: dom,
+			SharedReadFrac: 0.28, MigratoryFrac: 0.22, ProdConsFrac: 0.04, StreamFrac: 0.03,
+			PrivateWriteFrac: 0.25, SharedWriteFrac: 0.06,
+			PrivateBlocks: 1536, SharedBlocks: 1536, MigratoryBlocks: 512, ProdConsBlocks: 32,
+			ThinkMean: 8,
+		},
+		// apache: static web serving — wide read sharing of file/cache
+		// structures with some migratory metadata.
+		"apache": {
+			Label: "apache", DomainCores: dom,
+			SharedReadFrac: 0.34, MigratoryFrac: 0.14, ProdConsFrac: 0.03, StreamFrac: 0.04,
+			PrivateWriteFrac: 0.25, SharedWriteFrac: 0.05,
+			PrivateBlocks: 1792, SharedBlocks: 1536, MigratoryBlocks: 384, ProdConsBlocks: 32,
+			ThinkMean: 7,
+		},
+		// jbb: Java middleware — more private than oltp/apache with
+		// moderate object sharing.
+		"jbb": {
+			Label: "jbb", DomainCores: dom,
+			SharedReadFrac: 0.18, MigratoryFrac: 0.12, ProdConsFrac: 0.03, StreamFrac: 0.05,
+			PrivateWriteFrac: 0.30, SharedWriteFrac: 0.05,
+			PrivateBlocks: 2 << 10, SharedBlocks: 1 << 10, MigratoryBlocks: 384, ProdConsBlocks: 32,
+			ThinkMean: 7,
+		},
+	}
+	if name == "micro" {
+		return NewMicro(n, seed), nil
+	}
+	m, ok := mixes[name]
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown workload %q", name)
+	}
+	return NewMix(m, n, seed), nil
+}
+
+// Names lists the named application workloads in the paper's figure
+// order.
+func Names() []string { return []string{"jbb", "oltp", "apache", "barnes", "ocean"} }

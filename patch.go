@@ -1,0 +1,261 @@
+// Package patch is a from-scratch reproduction of "Token Tenure:
+// PATCHing Token Counting Using Directory-Based Cache Coherence"
+// (Raghavan, Blundell, Martin; MICRO-41, 2008).
+//
+// It provides a discrete-event multicore memory-system simulator with
+// three complete cache-coherence protocols:
+//
+//   - Directory — the paper's baseline: a GEMS-style blocking MOESI+F
+//     directory protocol with a migratory-sharing optimisation.
+//   - PATCH — the paper's contribution: the directory protocol augmented
+//     with token counting, best-effort direct requests driven by
+//     destination-set prediction, and the broadcast-free token-tenure
+//     forward-progress mechanism.
+//   - TokenB — broadcast token coherence with persistent requests, the
+//     paper's performance comparator.
+//
+// The simulated machine follows the paper's methods section: simple
+// in-order cores, 64 KB L1s, 1 MB 12-cycle private L2s, 64-byte blocks,
+// an 80-cycle DRAM, a 16-cycle on-chip directory, and a 2D-torus
+// interconnect with fan-out multicast, a deprioritised droppable
+// best-effort message class, and per-link bandwidth modelling.
+//
+// The simplest entry point:
+//
+//	res, err := patch.Run(patch.Config{
+//		Protocol: patch.PATCH,
+//		Variant:  patch.VariantAll,
+//		Cores:    64,
+//		Workload: "oltp",
+//	})
+//
+// Variants map onto the paper's configurations (PATCH-NONE, PATCH-OWNER,
+// PATCH-BROADCASTIFSHARED, PATCH-ALL, PATCH-ALL-NONADAPTIVE). Use
+// RunSeeds to collect several perturbed runs and a 95% confidence
+// interval, as the paper's figures do.
+package patch
+
+import (
+	"fmt"
+
+	"patch/internal/interconnect"
+	"patch/internal/msg"
+	"patch/internal/predictor"
+	"patch/internal/sim"
+	"patch/internal/stats"
+)
+
+// Protocol selects the coherence protocol.
+type Protocol = sim.Kind
+
+// Protocol values.
+const (
+	Directory = sim.Directory
+	PATCH     = sim.PATCH
+	TokenB    = sim.TokenB
+)
+
+// Variant names a PATCH configuration from the paper's evaluation.
+type Variant int
+
+const (
+	// VariantNone sends no direct requests (PATCH-NONE).
+	VariantNone Variant = iota
+	// VariantOwner predicts a single owner destination (PATCH-OWNER).
+	VariantOwner
+	// VariantBroadcastIfShared broadcasts for recently shared blocks
+	// (PATCH-BROADCASTIFSHARED).
+	VariantBroadcastIfShared
+	// VariantAll broadcasts every request best-effort (PATCH-ALL).
+	VariantAll
+	// VariantAllNonAdaptive broadcasts with guaranteed delivery
+	// (PATCH-ALL-NONADAPTIVE), the foil for the bandwidth-adaptivity
+	// experiments.
+	VariantAllNonAdaptive
+)
+
+func (v Variant) String() string {
+	switch v {
+	case VariantNone:
+		return "PATCH-None"
+	case VariantOwner:
+		return "PATCH-Owner"
+	case VariantBroadcastIfShared:
+		return "PATCH-BroadcastIfShared"
+	case VariantAll:
+		return "PATCH-All"
+	case VariantAllNonAdaptive:
+		return "PATCH-All-NonAdaptive"
+	}
+	return fmt.Sprintf("Variant(%d)", int(v))
+}
+
+// Config describes one simulation. Zero values select the paper's
+// defaults (64 cores, 16 B/cycle links, full-map directory).
+type Config struct {
+	Protocol Protocol
+	Variant  Variant // PATCH only
+
+	Cores int
+	// Workload names a built-in generator ("jbb", "oltp", "apache",
+	// "barnes", "ocean", "micro"); TraceFile, when set, replays a
+	// recorded reference trace instead.
+	Workload   string
+	TraceFile  string
+	OpsPerCore int
+	WarmupOps  int // 0: one warmup op per measured op; -1: none
+	Seed       int64
+
+	// BandwidthBytesPerKiloCycle sweeps link bandwidth (Figures 6-8);
+	// 0 selects the paper's default 16 bytes/cycle. UnboundedBandwidth
+	// disables link contention entirely (Figure 9's upper halves).
+	BandwidthBytesPerKiloCycle int
+	UnboundedBandwidth         bool
+
+	// DirectoryCoarseness is K in the coarse sharer vector (1 bit per K
+	// cores); 1 or 0 selects an exact full map (Figures 9-10).
+	DirectoryCoarseness int
+
+	// SkipChecks disables the end-of-run invariant verification
+	// (benchmark loops only).
+	SkipChecks bool
+}
+
+// Result is the outcome of one run.
+type Result struct {
+	// Cycles is the measured-phase runtime.
+	Cycles uint64
+	// Misses is the number of demand misses.
+	Misses uint64
+	// BytesPerMiss is interconnect traffic (bytes x links) per miss, the
+	// paper's traffic metric.
+	BytesPerMiss float64
+	// TrafficByClass breaks traffic down by the paper's categories
+	// (Data, Ack, Direct, Indirect, Forward, Reissue, Activation).
+	TrafficByClass map[string]uint64
+	// AvgMissLatency is the mean cycles from issue to core restart.
+	AvgMissLatency float64
+	// DroppedDirectRequests counts stale best-effort messages discarded
+	// by the interconnect.
+	DroppedDirectRequests uint64
+	// SharingMisses and MemoryMisses classify demand misses by where the
+	// data came from.
+	SharingMisses, MemoryMisses uint64
+	// TenureTimeouts counts untenured-token discards (PATCH).
+	TenureTimeouts uint64
+	// Reissues and PersistentRequests count TokenB's forward-progress
+	// machinery.
+	Reissues, PersistentRequests uint64
+}
+
+// Summary aggregates multiple seeded runs of one configuration.
+type Summary struct {
+	Runtime      stats.Summary
+	BytesPerMiss stats.Summary
+	Results      []*Result
+}
+
+// ToSim lowers the facade configuration to the internal simulator
+// configuration (exposed for tooling such as cmd/patchsim's tracer).
+func (c Config) ToSim() sim.Config { return c.toSim() }
+
+func (c Config) toSim() sim.Config {
+	sc := sim.Config{
+		Protocol:   c.Protocol,
+		Cores:      c.Cores,
+		OpsPerCore: c.OpsPerCore,
+		WarmupOps:  c.WarmupOps,
+		Seed:       c.Seed,
+		Workload:   c.Workload,
+		TraceFile:  c.TraceFile,
+		Coarseness: c.DirectoryCoarseness,
+		SkipChecks: c.SkipChecks,
+	}
+	if c.Protocol == sim.PATCH {
+		switch c.Variant {
+		case VariantNone:
+			sc.Policy = predictor.None
+		case VariantOwner:
+			sc.Policy = predictor.Owner
+		case VariantBroadcastIfShared:
+			sc.Policy = predictor.BroadcastIfShared
+		case VariantAll, VariantAllNonAdaptive:
+			sc.Policy = predictor.All
+		}
+		sc.BestEffort = c.Variant != VariantAllNonAdaptive
+	}
+	if c.UnboundedBandwidth {
+		sc.Net = interconnect.Config{Unbounded: true, HopLatency: 3, RouteOverhead: 3, DropAfter: 100}
+	} else if c.BandwidthBytesPerKiloCycle > 0 {
+		sc.Net = interconnect.DefaultConfig()
+		sc.Net.BytesPerKiloCycle = c.BandwidthBytesPerKiloCycle
+	}
+	return sc
+}
+
+func fromSim(r *sim.Result) *Result {
+	out := &Result{
+		Cycles:                r.Cycles,
+		Misses:                r.Misses,
+		BytesPerMiss:          r.BytesPerMiss,
+		AvgMissLatency:        r.AvgMissLatency,
+		DroppedDirectRequests: r.Dropped,
+		SharingMisses:         r.Stats.SharingMisses,
+		MemoryMisses:          r.Stats.MemoryMisses,
+		TenureTimeouts:        r.Stats.TenureTimeouts,
+		Reissues:              r.Stats.Reissues,
+		PersistentRequests:    r.Stats.PersistentReqs,
+		TrafficByClass:        make(map[string]uint64, msg.NumClasses),
+	}
+	for c := msg.Class(0); c < msg.NumClasses; c++ {
+		out.TrafficByClass[c.String()] = r.BytesByClass[c]
+	}
+	return out
+}
+
+// Run executes one simulation to completion, verifying the protocol
+// invariants (token conservation, single-writer, liveness) unless
+// SkipChecks is set.
+func Run(cfg Config) (*Result, error) {
+	r, err := sim.Run(cfg.toSim())
+	if err != nil {
+		return nil, err
+	}
+	return fromSim(r), nil
+}
+
+// RunSeeds executes n perturbed runs (seeds seed..seed+n-1) and returns
+// per-metric summaries with Student-t 95% confidence intervals, the
+// paper's methodology [Alameldeen et al.].
+func RunSeeds(cfg Config, n int) (*Summary, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("patch: need at least one run, got %d", n)
+	}
+	s := &Summary{}
+	var cycles, bpm []float64
+	for i := 0; i < n; i++ {
+		c := cfg
+		c.Seed = cfg.Seed + int64(i)
+		r, err := Run(c)
+		if err != nil {
+			return nil, err
+		}
+		s.Results = append(s.Results, r)
+		cycles = append(cycles, float64(r.Cycles))
+		bpm = append(bpm, r.BytesPerMiss)
+	}
+	s.Runtime = stats.Summarize(cycles)
+	s.BytesPerMiss = stats.Summarize(bpm)
+	return s, nil
+}
+
+// Workloads lists the named application workloads in the paper's figure
+// order (jbb, oltp, apache, barnes, ocean).
+func Workloads() []string {
+	return []string{"jbb", "oltp", "apache", "barnes", "ocean"}
+}
+
+// Variants lists the PATCH variants in the paper's Figure 4/5 order.
+func Variants() []Variant {
+	return []Variant{VariantNone, VariantOwner, VariantBroadcastIfShared, VariantAll}
+}
