@@ -7,7 +7,9 @@
 package patch
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"testing"
 
 	"patch/internal/interconnect"
@@ -239,4 +241,38 @@ func BenchmarkAblationLinkModel(b *testing.B) {
 // bounds overall simulator speed.
 func BenchmarkEngine(b *testing.B) {
 	runSim(b, variantCfg(figureConfig("micro"), "Directory"))
+}
+
+// BenchmarkSweep measures the parallel sweep engine end to end: one
+// Figure 4-shaped grid (the full protocol column set on oltp, two seeds
+// per cell) per iteration, at several worker-pool sizes. The workers1
+// case is the sequential baseline, so the sub-benchmark ratio is the
+// engine's parallel speedup.
+//
+// To record the perf trajectory, emit machine-readable numbers per PR:
+//
+//	go test -bench 'Sweep' -run '^$' -count 5 | tee BENCH_sweep.txt
+//	go test -bench 'Sweep' -run '^$' -json > BENCH_sweep.json
+func BenchmarkSweep(b *testing.B) {
+	m := Matrix{
+		Base: Config{
+			Cores: benchCores, OpsPerCore: 200, WarmupOps: 400,
+			Workload: "oltp", Seed: 1, SkipChecks: true,
+		},
+		Protocols: FigureProtocols(),
+		Seeds:     2,
+	}
+	counts := []int{1, 4}
+	if n := runtime.GOMAXPROCS(0); n > 4 {
+		counts = append(counts, n)
+	}
+	for _, workers := range counts {
+		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Sweep(context.Background(), m, Workers(workers)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }

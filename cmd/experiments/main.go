@@ -12,6 +12,8 @@
 //	experiments -exp fig8           # scalability 4..512 cores
 //	experiments -exp fig9           # inexact encodings (fig10 included)
 //	experiments -quick              # shrunken smoke-test scale
+//	experiments -workers 8          # bound the sweep worker pool
+//	experiments -progress           # live run counter on stderr
 package main
 
 import (
@@ -30,6 +32,8 @@ func main() {
 	ops := flag.Int("ops", 0, "override measured ops/core")
 	seeds := flag.Int("seeds", 0, "override seeds per cell")
 	maxCores := flag.Int("maxcores", 0, "override fig8 sweep limit")
+	workers := flag.Int("workers", 0, "sweep worker pool size (0: GOMAXPROCS)")
+	progress := flag.Bool("progress", false, "print sweep progress to stderr")
 	flag.Parse()
 
 	sc := experiments.DefaultScale()
@@ -42,12 +46,22 @@ func main() {
 	if *ops > 0 {
 		sc.Ops = *ops
 		sc.Warmup = 2 * *ops
+		fmt.Fprintf(os.Stderr, "note: -ops %d implies warmup of %d ops/core (2x measured)\n", *ops, sc.Warmup)
 	}
 	if *seeds > 0 {
 		sc.Seeds = *seeds
 	}
 	if *maxCores > 0 {
 		sc.MaxCores = *maxCores
+	}
+	sc.Workers = *workers
+	if *progress {
+		sc.Progress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\r%d/%d runs", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
 	}
 
 	start := time.Now()

@@ -39,41 +39,48 @@ func main() {
 	replay := flag.String("replay", "", "replay a recorded reference trace instead of a named workload")
 	flag.Parse()
 
-	cfg := patch.Config{
-		Workload:                   *workload,
-		TraceFile:                  *replay,
-		Cores:                      *cores,
-		OpsPerCore:                 *ops,
-		WarmupOps:                  *warmup,
-		Seed:                       *seed,
-		BandwidthBytesPerKiloCycle: *bandwidth,
-		UnboundedBandwidth:         *unbounded,
-		DirectoryCoarseness:        *coarseness,
+	opts := []patch.Option{
+		patch.WithWorkload(*workload),
+		patch.WithTraceFile(*replay),
+		patch.WithCores(*cores),
+		patch.WithOps(*ops),
+		patch.WithWarmup(*warmup),
+		patch.WithSeed(*seed),
+		patch.WithBandwidth(*bandwidth),
+		patch.WithCoarseness(*coarseness),
+	}
+	if *unbounded {
+		opts = append(opts, patch.WithUnboundedBandwidth())
 	}
 	switch *protoFlag {
 	case "directory":
-		cfg.Protocol = patch.Directory
+		opts = append(opts, patch.WithProtocol(patch.Directory))
 	case "patch":
-		cfg.Protocol = patch.PATCH
+		opts = append(opts, patch.WithProtocol(patch.PATCH))
 	case "tokenb":
-		cfg.Protocol = patch.TokenB
+		opts = append(opts, patch.WithProtocol(patch.TokenB))
 	default:
 		fmt.Fprintf(os.Stderr, "unknown protocol %q\n", *protoFlag)
 		os.Exit(2)
 	}
 	switch *variantFlag {
 	case "none":
-		cfg.Variant = patch.VariantNone
+		opts = append(opts, patch.WithVariant(patch.VariantNone))
 	case "owner":
-		cfg.Variant = patch.VariantOwner
+		opts = append(opts, patch.WithVariant(patch.VariantOwner))
 	case "bcast":
-		cfg.Variant = patch.VariantBroadcastIfShared
+		opts = append(opts, patch.WithVariant(patch.VariantBroadcastIfShared))
 	case "all":
-		cfg.Variant = patch.VariantAll
+		opts = append(opts, patch.WithVariant(patch.VariantAll))
 	case "all-na":
-		cfg.Variant = patch.VariantAllNonAdaptive
+		opts = append(opts, patch.WithVariant(patch.VariantAllNonAdaptive))
 	default:
 		fmt.Fprintf(os.Stderr, "unknown variant %q\n", *variantFlag)
+		os.Exit(2)
+	}
+	cfg, err := patch.New(opts...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 

@@ -1,6 +1,7 @@
 package patch_test
 
 import (
+	"context"
 	"fmt"
 
 	"patch"
@@ -48,6 +49,53 @@ func ExampleRunSeeds() {
 	// Output:
 	// runs: 3
 	// mean runtime positive: true
+}
+
+// ExampleNew builds a validated configuration from functional options;
+// invalid combinations surface as typed errors before any simulator is
+// built.
+func ExampleNew() {
+	_, err := patch.New(
+		patch.WithProtocol(patch.PATCH),
+		patch.WithVariant(patch.VariantAll),
+		patch.WithCores(12), // not a power of two: outside the paper's design space
+	)
+	fmt.Println("valid:", err == nil)
+	fmt.Println(err)
+	// Output:
+	// valid: false
+	// patch: core count must be a power of two in [1, 1024]: got 12
+}
+
+// ExampleSweep declares a protocol-comparison grid as a Matrix and runs
+// it on the parallel sweep engine; cells come back in matrix order with
+// deterministic summaries regardless of worker count.
+func ExampleSweep() {
+	m := patch.Matrix{
+		Base: patch.MustNew(
+			patch.WithCores(8),
+			patch.WithWorkload("micro"),
+			patch.WithOps(100),
+			patch.WithSeed(1),
+		),
+		Protocols: []patch.ProtoVariant{
+			{Protocol: patch.Directory},
+			{Protocol: patch.PATCH, Variant: patch.VariantAll},
+		},
+		Seeds: 2,
+	}
+	res, err := patch.Sweep(context.Background(), m)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	for _, c := range res.Cells {
+		fmt.Printf("%s: %d runs, runtime positive: %v\n",
+			c.Label, c.Summary.Runtime.N, c.Summary.Runtime.Mean > 0)
+	}
+	// Output:
+	// Directory: 2 runs, runtime positive: true
+	// PATCH-All: 2 runs, runtime positive: true
 }
 
 // ExampleConfig_variants enumerates the paper's PATCH configurations.

@@ -4,10 +4,14 @@
 // while the non-adaptive variant collapses once its direct requests
 // congest the links — the "do no harm" guarantee of §6.
 //
+// The whole grid is one patch.Matrix: bandwidth axis x the adaptivity
+// protocol columns, run in parallel by patch.Sweep.
+//
 //	go run ./examples/bandwidth_adaptivity
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -15,28 +19,31 @@ import (
 )
 
 func main() {
+	m := patch.Matrix{
+		Base: patch.MustNew(
+			patch.WithCores(16),
+			patch.WithWorkload("jbb"),
+			patch.WithOps(400),
+			patch.WithWarmup(1200),
+			patch.WithSeed(1),
+		),
+		Bandwidths: []int{300, 600, 900, 2000, 4000, 8000},
+		Protocols:  patch.AdaptivityProtocols(),
+	}
+
+	res, err := patch.Sweep(context.Background(), m)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	fmt.Println("Runtime normalized to DIRECTORY at each link bandwidth (jbb, 16 cores).")
 	fmt.Printf("%-12s %-11s %-15s %-10s\n", "bw (B/kcyc)", "Directory", "PATCH-All-NA", "PATCH-All")
-
-	for _, bw := range []int{300, 600, 900, 2000, 4000, 8000} {
-		base := patch.Config{
-			Cores: 16, Workload: "jbb", OpsPerCore: 400, WarmupOps: 1200,
-			Seed: 1, BandwidthBytesPerKiloCycle: bw,
-		}
-		run := func(p patch.Protocol, v patch.Variant) float64 {
-			cfg := base
-			cfg.Protocol = p
-			cfg.Variant = v
-			r, err := patch.Run(cfg)
-			if err != nil {
-				log.Fatal(err)
-			}
-			return float64(r.Cycles)
-		}
-		dir := run(patch.Directory, 0)
-		na := run(patch.PATCH, patch.VariantAllNonAdaptive)
-		be := run(patch.PATCH, patch.VariantAll)
-		fmt.Printf("%-12d %-11.3f %-15.3f %-10.3f\n", bw, 1.0, na/dir, be/dir)
+	cols := len(m.Protocols)
+	for i, bw := range m.Bandwidths {
+		group := res.Cells[i*cols : (i+1)*cols]
+		dir := group[0].Summary.Runtime.Mean
+		fmt.Printf("%-12d %-11.3f %-15.3f %-10.3f\n", bw, 1.0,
+			group[1].Summary.Runtime.Mean/dir, group[2].Summary.Runtime.Mean/dir)
 	}
 	fmt.Println("\nExpected shape: at low bandwidth PATCH-All-NA deteriorates past")
 	fmt.Println("DIRECTORY while best-effort PATCH-All stays at or below 1.0; at high")

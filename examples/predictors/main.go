@@ -1,13 +1,15 @@
 // Destination-set prediction: a miniature of the paper's §8.3 study.
-// Compares PATCH's prediction policies on oltp: each policy trades
-// direct-request traffic for sharing-miss latency. Owner prediction
-// gets about half of PATCH-ALL's speedup for a fraction of its traffic;
-// Broadcast-If-Shared approaches PATCH-ALL's runtime with less traffic.
+// Compares PATCH's prediction policies on oltp as one sweep over the
+// variant axis: each policy trades direct-request traffic for
+// sharing-miss latency. Owner prediction gets about half of PATCH-ALL's
+// speedup for a fraction of its traffic; Broadcast-If-Shared approaches
+// PATCH-ALL's runtime with less traffic.
 //
 //	go run ./examples/predictors
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -15,27 +17,35 @@ import (
 )
 
 func main() {
+	var protos []patch.ProtoVariant
+	for _, v := range patch.Variants() {
+		protos = append(protos, patch.ProtoVariant{Protocol: patch.PATCH, Variant: v})
+	}
+	m := patch.Matrix{
+		Base: patch.MustNew(
+			patch.WithCores(16),
+			patch.WithWorkload("oltp"),
+			patch.WithOps(600),
+			patch.WithWarmup(1800),
+			patch.WithSeed(1),
+		),
+		Protocols: protos,
+	}
+
+	res, err := patch.Sweep(context.Background(), m)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	fmt.Println("PATCH prediction policies on oltp (16 cores), normalized to PATCH-None.")
 	fmt.Printf("%-26s %-10s %-12s %-14s %s\n",
 		"variant", "runtime", "traffic", "direct B/miss", "sharing-miss latency")
 
-	var baseRuntime, baseTraffic float64
-	for _, v := range []patch.Variant{
-		patch.VariantNone, patch.VariantOwner, patch.VariantBroadcastIfShared, patch.VariantAll,
-	} {
-		r, err := patch.Run(patch.Config{
-			Protocol: patch.PATCH, Variant: v,
-			Cores: 16, Workload: "oltp", OpsPerCore: 600, WarmupOps: 1800, Seed: 1,
-		})
-		if err != nil {
-			log.Fatal(err)
-		}
-		if baseRuntime == 0 {
-			baseRuntime = float64(r.Cycles)
-			baseTraffic = r.BytesPerMiss
-		}
+	base := res.Cells[0].Summary.Results[0]
+	for _, c := range res.Cells {
+		r := c.Summary.Results[0]
 		fmt.Printf("%-26s %-10.3f %-12.3f %-14.1f %.1f cycles\n",
-			v, float64(r.Cycles)/baseRuntime, r.BytesPerMiss/baseTraffic,
+			c.Label, float64(r.Cycles)/float64(base.Cycles), r.BytesPerMiss/base.BytesPerMiss,
 			float64(r.TrafficByClass["Dir. Req."])/float64(r.Misses),
 			r.AvgMissLatency)
 	}

@@ -1,11 +1,12 @@
 // Quickstart: run the paper's headline comparison — DIRECTORY vs
-// PATCH-ALL vs TokenB on the oltp workload — and print runtime, miss
-// profile and the traffic breakdown for each.
+// PATCH-ALL vs TokenB on the oltp workload — as one declarative sweep
+// and print runtime, miss profile and the traffic breakdown for each.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -13,35 +14,33 @@ import (
 )
 
 func main() {
-	const cores = 16 // one consolidation domain; use 64 for the paper's full system
-
-	configs := []struct {
-		name string
-		cfg  patch.Config
-	}{
-		{"DIRECTORY", patch.Config{Protocol: patch.Directory}},
-		{"PATCH-NONE", patch.Config{Protocol: patch.PATCH, Variant: patch.VariantNone}},
-		{"PATCH-ALL", patch.Config{Protocol: patch.PATCH, Variant: patch.VariantAll}},
-		{"TOKENB", patch.Config{Protocol: patch.TokenB}},
+	// One consolidation domain; use 64 cores for the paper's full system.
+	m := patch.Matrix{
+		Base: patch.MustNew(
+			patch.WithCores(16),
+			patch.WithWorkload("oltp"),
+			patch.WithOps(600),
+			patch.WithWarmup(1800),
+			patch.WithSeed(1),
+		),
+		Protocols: []patch.ProtoVariant{
+			{Protocol: patch.Directory, Label: "DIRECTORY"},
+			{Protocol: patch.PATCH, Variant: patch.VariantNone, Label: "PATCH-NONE"},
+			{Protocol: patch.PATCH, Variant: patch.VariantAll, Label: "PATCH-ALL"},
+			{Protocol: patch.TokenB, Label: "TOKENB"},
+		},
 	}
 
-	var baseline float64
-	for _, c := range configs {
-		c.cfg.Cores = cores
-		c.cfg.Workload = "oltp"
-		c.cfg.OpsPerCore = 600
-		c.cfg.WarmupOps = 1800
-		c.cfg.Seed = 1
+	res, err := patch.Sweep(context.Background(), m)
+	if err != nil {
+		log.Fatal(err)
+	}
 
-		r, err := patch.Run(c.cfg)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if baseline == 0 {
-			baseline = float64(r.Cycles)
-		}
+	baseline := res.Cells[0].Summary.Runtime.Mean
+	for _, c := range res.Cells {
+		r := c.Summary.Results[0]
 		fmt.Printf("%-11s runtime %7d cycles (%.3fx) | %5d misses (%d sharing, %d memory) | %.0f bytes/miss\n",
-			c.name, r.Cycles, float64(r.Cycles)/baseline,
+			c.Label, r.Cycles, float64(r.Cycles)/baseline,
 			r.Misses, r.SharingMisses, r.MemoryMisses, r.BytesPerMiss)
 		if r.TenureTimeouts > 0 {
 			fmt.Printf("            token-tenure timeouts: %d\n", r.TenureTimeouts)

@@ -1,0 +1,3 @@
+module patch
+
+go 1.22

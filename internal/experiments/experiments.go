@@ -2,18 +2,18 @@
 // section (§8): runtime and traffic across protocols and workloads
 // (Figures 4-5), bandwidth adaptivity sweeps (Figures 6-7), scalability
 // from 4 to 512 cores (Figure 8), and inexact directory encodings
-// (Figures 9-10). Each experiment returns formatted rows normalised the
-// way the paper plots them, plus the underlying samples.
+// (Figures 9-10). Each figure is a declarative patch.Matrix executed on
+// the parallel sweep engine; each experiment returns formatted rows
+// normalised the way the paper plots them, plus the underlying samples.
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
-	"patch/internal/interconnect"
+	"patch"
 	"patch/internal/msg"
-	"patch/internal/predictor"
-	"patch/internal/sim"
 	"patch/internal/stats"
 )
 
@@ -27,6 +27,12 @@ type Scale struct {
 	Seeds     int // perturbed runs per cell (confidence intervals)
 	MaxCores  int // Figure 8 sweep limit (paper: 512)
 	SkipCheck bool
+
+	// Workers bounds the sweep worker pool; 0 selects GOMAXPROCS.
+	Workers int
+	// Progress, when set, is invoked after every completed run with
+	// (done, total) counts.
+	Progress func(done, total int)
 }
 
 // DefaultScale is sized to finish the full suite in minutes on a laptop
@@ -40,6 +46,34 @@ func QuickScale() Scale {
 	return Scale{Cores: 16, Ops: 250, Warmup: 500, Seeds: 1, MaxCores: 64, SkipCheck: true}
 }
 
+// sweep executes a matrix under the scale's execution knobs.
+func (sc Scale) sweep(m patch.Matrix) (*patch.SweepResult, error) {
+	return patch.Sweep(context.Background(), m,
+		patch.Workers(sc.Workers), patch.OnProgress(sc.Progress))
+}
+
+// base is the shared cell template for the figure matrices.
+func (sc Scale) base() patch.Config {
+	return patch.Config{
+		Cores: sc.Cores, OpsPerCore: sc.Ops, WarmupOps: sc.Warmup,
+		Seed: 1, SkipChecks: sc.SkipCheck,
+	}
+}
+
+// scaledOps keeps total simulated work bounded as the system grows
+// (Figures 8-10 sweep the core count).
+func (sc Scale) scaledOps(cfg patch.Config) patch.Config {
+	ops := sc.Ops
+	if scaled := (sc.Ops * sc.Cores) / cfg.Cores; scaled < ops {
+		ops = scaled
+	}
+	if ops < 50 {
+		ops = 50
+	}
+	cfg.OpsPerCore, cfg.WarmupOps = ops, ops
+	return cfg
+}
+
 // Cell is one measured configuration.
 type Cell struct {
 	Label        string
@@ -49,93 +83,40 @@ type Cell struct {
 	Dropped      float64
 }
 
-// configVariant builds the Figure 4/5 protocol column set.
-type variant struct {
-	name string
-	cfg  func(base sim.Config) sim.Config
-}
-
-func figureVariants() []variant {
-	return []variant{
-		{"Directory", func(b sim.Config) sim.Config {
-			b.Protocol = sim.Directory
-			return b
-		}},
-		{"PATCH-None", func(b sim.Config) sim.Config {
-			b.Protocol = sim.PATCH
-			b.Policy = predictor.None
-			b.BestEffort = true
-			return b
-		}},
-		{"PATCH-Owner", func(b sim.Config) sim.Config {
-			b.Protocol = sim.PATCH
-			b.Policy = predictor.Owner
-			b.BestEffort = true
-			return b
-		}},
-		{"Bcast-If-Shared", func(b sim.Config) sim.Config {
-			b.Protocol = sim.PATCH
-			b.Policy = predictor.BroadcastIfShared
-			b.BestEffort = true
-			return b
-		}},
-		{"PATCH-All", func(b sim.Config) sim.Config {
-			b.Protocol = sim.PATCH
-			b.Policy = predictor.All
-			b.BestEffort = true
-			return b
-		}},
-		{"TokenB", func(b sim.Config) sim.Config {
-			b.Protocol = sim.TokenB
-			return b
-		}},
-	}
-}
-
-// measure runs one configuration across seeds.
-func measure(label string, base sim.Config, seeds int) (Cell, error) {
-	cell := Cell{Label: label}
-	var rt, bpm []float64
-	var dropped float64
-	for s := 0; s < seeds; s++ {
-		cfg := base
-		cfg.Seed = base.Seed + int64(s)
-		r, err := sim.Run(cfg)
-		if err != nil {
-			return cell, fmt.Errorf("%s seed %d: %w", label, s, err)
+// toCell folds a sweep cell into the report shape the figures print.
+func toCell(c patch.CellResult) Cell {
+	cell := Cell{Label: c.Label, Runtime: c.Summary.Runtime, BytesPerMiss: c.Summary.BytesPerMiss}
+	n := float64(len(c.Summary.Results))
+	for _, r := range c.Summary.Results {
+		for cls := msg.Class(0); cls < msg.NumClasses; cls++ {
+			cell.ByClass[cls] += float64(r.TrafficByClass[cls.String()]) / float64(r.Misses) / n
 		}
-		rt = append(rt, float64(r.Cycles))
-		bpm = append(bpm, r.BytesPerMiss)
-		for c := 0; c < int(msg.NumClasses); c++ {
-			cell.ByClass[c] += float64(r.BytesByClass[c]) / float64(r.Misses) / float64(seeds)
-		}
-		dropped += float64(r.Dropped) / float64(seeds)
+		cell.Dropped += float64(r.DroppedDirectRequests) / n
 	}
-	cell.Runtime = stats.Summarize(rt)
-	cell.BytesPerMiss = stats.Summarize(bpm)
-	cell.Dropped = dropped
-	return cell, nil
+	return cell
 }
 
 // Fig4And5 reproduces the paper's Figure 4 (normalised runtime) and
 // Figure 5 (normalised traffic per miss with per-class breakdown) for
 // every workload and protocol configuration.
 func Fig4And5(w io.Writer, sc Scale) (map[string][]Cell, error) {
+	m := patch.Matrix{
+		Base:      sc.base(),
+		Workloads: patch.Workloads(),
+		Protocols: patch.FigureProtocols(),
+		Seeds:     sc.Seeds,
+	}
+	res, err := sc.sweep(m)
+	if err != nil {
+		return nil, err
+	}
+	cols := len(m.Protocols)
 	out := make(map[string][]Cell)
-	workloads := []string{"jbb", "oltp", "apache", "barnes", "ocean"}
 	fmt.Fprintf(w, "== Figure 4 (normalized runtime) and Figure 5 (normalized traffic/miss), %d cores ==\n", sc.Cores)
-	for _, wl := range workloads {
-		base := sim.Config{
-			Cores: sc.Cores, OpsPerCore: sc.Ops, WarmupOps: sc.Warmup,
-			Workload: wl, Seed: 1, SkipChecks: sc.SkipCheck,
-		}
+	for i, wl := range m.Workloads {
 		var cells []Cell
-		for _, v := range figureVariants() {
-			cell, err := measure(v.name, v.cfg(base), sc.Seeds)
-			if err != nil {
-				return nil, err
-			}
-			cells = append(cells, cell)
+		for _, cr := range res.Cells[i*cols : (i+1)*cols] {
+			cells = append(cells, toCell(cr))
 		}
 		out[wl] = cells
 		dir := cells[0]
@@ -158,44 +139,28 @@ func Fig4And5(w io.Writer, sc Scale) (map[string][]Cell, error) {
 // PATCH-All-NonAdaptive and PATCH-All normalised to Directory at each
 // link bandwidth (bytes per 1000 cycles).
 func BandwidthSweep(w io.Writer, sc Scale, workload string) (map[int][3]float64, error) {
-	bandwidths := []int{300, 600, 900, 2000, 4000, 8000}
+	m := patch.Matrix{
+		Base:       sc.base(),
+		Workloads:  []string{workload},
+		Bandwidths: []int{300, 600, 900, 2000, 4000, 8000},
+		Protocols:  patch.AdaptivityProtocols(),
+		Seeds:      sc.Seeds,
+	}
+	res, err := sc.sweep(m)
+	if err != nil {
+		return nil, err
+	}
 	out := make(map[int][3]float64)
 	fmt.Fprintf(w, "== Figure 6/7 (bandwidth adaptivity, %s, %d cores) ==\n", workload, sc.Cores)
 	fmt.Fprintf(w, "  %-10s %-11s %-14s %-10s %s\n", "bw(B/kc)", "Directory", "PATCH-All-NA", "PATCH-All", "(runtime normalized to Directory)")
-	for _, bw := range bandwidths {
-		base := sim.Config{
-			Cores: sc.Cores, OpsPerCore: sc.Ops, WarmupOps: sc.Warmup,
-			Workload: workload, Seed: 1, SkipChecks: sc.SkipCheck,
-		}
-		base.Net = interconnect.DefaultConfig()
-		base.Net.BytesPerKiloCycle = bw
-
-		dirCfg := base
-		dirCfg.Protocol = sim.Directory
-		dir, err := measure("Directory", dirCfg, sc.Seeds)
-		if err != nil {
-			return nil, err
-		}
-		naCfg := base
-		naCfg.Protocol = sim.PATCH
-		naCfg.Policy = predictor.All
-		naCfg.BestEffort = false
-		na, err := measure("PATCH-All-NA", naCfg, sc.Seeds)
-		if err != nil {
-			return nil, err
-		}
-		beCfg := base
-		beCfg.Protocol = sim.PATCH
-		beCfg.Policy = predictor.All
-		beCfg.BestEffort = true
-		be, err := measure("PATCH-All", beCfg, sc.Seeds)
-		if err != nil {
-			return nil, err
-		}
+	cols := len(m.Protocols)
+	for i, bw := range m.Bandwidths {
+		group := res.Cells[i*cols : (i+1)*cols]
+		dir := group[0].Summary.Runtime.Mean
 		row := [3]float64{
 			1.0,
-			stats.Ratio(na.Runtime.Mean, dir.Runtime.Mean),
-			stats.Ratio(be.Runtime.Mean, dir.Runtime.Mean),
+			stats.Ratio(group[1].Summary.Runtime.Mean, dir),
+			stats.Ratio(group[2].Summary.Runtime.Mean, dir),
 		}
 		out[bw] = row
 		fmt.Fprintf(w, "  %-10d %-11.3f %-14.3f %-10.3f\n", bw, row[0], row[1], row[2])
@@ -206,51 +171,35 @@ func BandwidthSweep(w io.Writer, sc Scale, workload string) (map[int][3]float64,
 // Scalability reproduces Figure 8: microbenchmark runtime on 4..MaxCores
 // cores with 2-byte/cycle links, normalised to Directory at each size.
 func Scalability(w io.Writer, sc Scale) (map[int][3]float64, error) {
+	var sizes []int
+	for cores := 4; cores <= sc.MaxCores; cores *= 2 {
+		sizes = append(sizes, cores)
+	}
+	base := sc.base()
+	base.Workload = "micro"
+	m := patch.Matrix{
+		Base:       base,
+		Cores:      sizes,
+		Bandwidths: []int{2000}, // 2 bytes/cycle
+		Protocols:  patch.AdaptivityProtocols(),
+		Seeds:      sc.Seeds,
+		Adjust:     sc.scaledOps,
+	}
+	res, err := sc.sweep(m)
+	if err != nil {
+		return nil, err
+	}
 	out := make(map[int][3]float64)
 	fmt.Fprintf(w, "== Figure 8 (scalability, microbenchmark, 2 B/cycle links) ==\n")
 	fmt.Fprintf(w, "  %-7s %-11s %-14s %-10s %s\n", "cores", "Directory", "PATCH-All-NA", "PATCH-All", "(runtime normalized to Directory)")
-	for cores := 4; cores <= sc.MaxCores; cores *= 2 {
-		// Keep total simulated work bounded as the system grows.
-		ops := sc.Ops
-		if scaled := (sc.Ops * sc.Cores) / cores; scaled < ops {
-			ops = scaled
-		}
-		if ops < 50 {
-			ops = 50
-		}
-		base := sim.Config{
-			Cores: cores, OpsPerCore: ops, WarmupOps: ops,
-			Workload: "micro", Seed: 1, SkipChecks: sc.SkipCheck,
-		}
-		base.Net = interconnect.DefaultConfig()
-		base.Net.BytesPerKiloCycle = 2000 // 2 bytes/cycle
-
-		dirCfg := base
-		dirCfg.Protocol = sim.Directory
-		dir, err := measure("Directory", dirCfg, sc.Seeds)
-		if err != nil {
-			return nil, err
-		}
-		naCfg := base
-		naCfg.Protocol = sim.PATCH
-		naCfg.Policy = predictor.All
-		naCfg.BestEffort = false
-		na, err := measure("PATCH-All-NA", naCfg, sc.Seeds)
-		if err != nil {
-			return nil, err
-		}
-		beCfg := base
-		beCfg.Protocol = sim.PATCH
-		beCfg.Policy = predictor.All
-		beCfg.BestEffort = true
-		be, err := measure("PATCH-All", beCfg, sc.Seeds)
-		if err != nil {
-			return nil, err
-		}
+	cols := len(m.Protocols)
+	for i, cores := range sizes {
+		group := res.Cells[i*cols : (i+1)*cols]
+		dir := group[0].Summary.Runtime.Mean
 		row := [3]float64{
 			1.0,
-			stats.Ratio(na.Runtime.Mean, dir.Runtime.Mean),
-			stats.Ratio(be.Runtime.Mean, dir.Runtime.Mean),
+			stats.Ratio(group[1].Summary.Runtime.Mean, dir),
+			stats.Ratio(group[2].Summary.Runtime.Mean, dir),
 		}
 		out[cores] = row
 		fmt.Fprintf(w, "  %-7d %-11.3f %-14.3f %-10.3f\n", cores, row[0], row[1], row[2])
@@ -271,58 +220,54 @@ type InexactRow struct {
 // DIRECTORY vs PATCH as the sharer encoding coarsens, at several system
 // sizes, with bounded (2 B/cycle) and unbounded links.
 func InexactEncodings(w io.Writer, sc Scale, sizes []int) (map[string][]InexactRow, error) {
+	base := sc.base()
+	base.Workload = "micro"
+	m := patch.Matrix{
+		Base:       base,
+		Cores:      sizes,
+		Bandwidths: []int{2000, patch.Unbounded},
+		Coarseness: []int{1, 4, 16, 64, 256},
+		Protocols: []patch.ProtoVariant{
+			{Protocol: patch.Directory, Label: "Dir"},
+			{Protocol: patch.PATCH, Variant: patch.VariantNone, Label: "Patch"},
+		},
+		Seeds:  sc.Seeds,
+		Adjust: sc.scaledOps,
+		Filter: func(c patch.Config) bool { return c.DirectoryCoarseness <= c.Cores },
+	}
+	res, err := sc.sweep(m)
+	if err != nil {
+		return nil, err
+	}
+	// Index cells by their axis coordinates so the figure can regroup
+	// them (rows are coarseness; columns pair bounded with unbounded).
+	type coord struct {
+		cores, bw, k int
+		label        string
+	}
+	cells := make(map[coord]Cell, len(res.Cells))
+	for _, cr := range res.Cells {
+		bw := cr.Config.BandwidthBytesPerKiloCycle
+		if cr.Config.UnboundedBandwidth {
+			bw = patch.Unbounded
+		}
+		cells[coord{cr.Config.Cores, bw, cr.Config.DirectoryCoarseness, cr.Label}] = toCell(cr)
+	}
+
 	out := make(map[string][]InexactRow)
 	fmt.Fprintf(w, "== Figure 9 (runtime) and Figure 10 (traffic/miss) vs encoding coarseness ==\n")
 	for _, cores := range sizes {
-		ops := sc.Ops
-		if scaled := (sc.Ops * sc.Cores) / cores; scaled < ops {
-			ops = scaled
-		}
-		if ops < 50 {
-			ops = 50
-		}
-		coarsenesses := []int{1, 4, 16, 64}
-		if cores >= 256 {
-			coarsenesses = append(coarsenesses, 256)
-		}
-		for _, proto := range []struct {
-			name string
-			kind sim.Kind
-		}{{"Dir", sim.Directory}, {"Patch", sim.PATCH}} {
-			key := fmt.Sprintf("%s-%dp", proto.name, cores)
+		for _, label := range []string{"Dir", "Patch"} {
+			key := fmt.Sprintf("%s-%dp", label, cores)
 			fmt.Fprintf(w, "\n%s:\n  %-7s %-16s %-16s %-15s %s\n",
 				key, "K", "runtime(2B/cyc)", "runtime(unbnd)", "traffic(norm)", "ack share")
 			var baseBounded, baseUnbounded, baseTraffic float64
-			for _, k := range coarsenesses {
+			for _, k := range m.Coarseness {
 				if k > cores {
 					continue
 				}
-				mk := func(unbounded bool) sim.Config {
-					cfg := sim.Config{
-						Cores: cores, OpsPerCore: ops, WarmupOps: ops,
-						Workload: "micro", Seed: 1, Coarseness: k,
-						Protocol: proto.kind, SkipChecks: sc.SkipCheck,
-					}
-					if proto.kind == sim.PATCH {
-						cfg.Policy = predictor.None
-						cfg.BestEffort = true
-					}
-					if unbounded {
-						cfg.Net = interconnect.Config{Unbounded: true, HopLatency: 3, RouteOverhead: 3, DropAfter: 100}
-					} else {
-						cfg.Net = interconnect.DefaultConfig()
-						cfg.Net.BytesPerKiloCycle = 2000
-					}
-					return cfg
-				}
-				bounded, err := measure(key, mk(false), sc.Seeds)
-				if err != nil {
-					return nil, err
-				}
-				unbounded, err := measure(key, mk(true), sc.Seeds)
-				if err != nil {
-					return nil, err
-				}
+				bounded := cells[coord{cores, 2000, k, label}]
+				unbounded := cells[coord{cores, patch.Unbounded, k, label}]
 				if k == 1 {
 					baseBounded = bounded.Runtime.Mean
 					baseUnbounded = unbounded.Runtime.Mean

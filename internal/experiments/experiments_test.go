@@ -7,7 +7,7 @@ import (
 )
 
 func quick() Scale {
-	return Scale{Cores: 8, Ops: 80, Warmup: 80, Seeds: 1, MaxCores: 16, SkipCheck: true}
+	return Scale{Cores: 8, Ops: 80, Warmup: 80, Seeds: 1, MaxCores: 16, SkipCheck: true, Workers: 4}
 }
 
 func TestFig4And5Quick(t *testing.T) {

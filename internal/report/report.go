@@ -31,10 +31,14 @@ func (t *Table) AddRow(cells ...any) {
 	t.Rows = append(t.Rows, row)
 }
 
-// CSV writes the table as comma-separated values.
+// CSV writes the table as comma-separated values. A table with no
+// Columns writes rows only, so streaming writers can emit the header
+// once and append row batches.
 func (t *Table) CSV(w io.Writer) error {
-	if _, err := fmt.Fprintln(w, strings.Join(t.Columns, ",")); err != nil {
-		return err
+	if len(t.Columns) > 0 {
+		if _, err := fmt.Fprintln(w, strings.Join(t.Columns, ",")); err != nil {
+			return err
+		}
 	}
 	for _, r := range t.Rows {
 		if _, err := fmt.Fprintln(w, strings.Join(r, ",")); err != nil {

@@ -45,7 +45,7 @@ func (k Kind) String() string {
 	case TokenB:
 		return "TokenB"
 	}
-	return "Kind(?)"
+	return fmt.Sprintf("Kind(%d)", int(k))
 }
 
 // Config describes one simulation.

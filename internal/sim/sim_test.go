@@ -308,3 +308,18 @@ func TestShapeInexactEncodingAckElision(t *testing.T) {
 		t.Fatalf("PATCH coarse excess %.3f not clearly below Directory excess %.3f", patchExcess, dirExcess)
 	}
 }
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		Directory: "Directory",
+		PATCH:     "PATCH",
+		TokenB:    "TokenB",
+		Kind(7):   "Kind(7)",
+		Kind(-1):  "Kind(-1)",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Fatalf("Kind(%d).String() = %q, want %q", int(k), got, want)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package patch
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestNewDefaults(t *testing.T) {
+	cfg, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg != (Config{}) {
+		t.Fatalf("defaults not zero: %+v", cfg)
+	}
+}
+
+func TestNewSetsEveryField(t *testing.T) {
+	cfg, err := New(
+		WithProtocol(PATCH),
+		WithVariant(VariantOwner),
+		WithCores(32),
+		WithWorkload("oltp"),
+		WithOps(100),
+		WithWarmup(200),
+		WithSeed(7),
+		WithBandwidth(2000),
+		WithCoarseness(16),
+		WithTenureTimeoutFactor(4),
+		WithNoDeactWindow(),
+		WithMaxCycles(1<<20),
+		WithSkipChecks(),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Config{
+		Protocol: PATCH, Variant: VariantOwner, Cores: 32, Workload: "oltp",
+		OpsPerCore: 100, WarmupOps: 200, Seed: 7,
+		BandwidthBytesPerKiloCycle: 2000, DirectoryCoarseness: 16,
+		TenureTimeoutFactor: 4, NoDeactWindow: true, MaxCycles: 1 << 20,
+		SkipChecks: true,
+	}
+	if cfg != want {
+		t.Fatalf("got %+v, want %+v", cfg, want)
+	}
+}
+
+func TestAblationKnobsReachSim(t *testing.T) {
+	cfg := MustNew(
+		WithProtocol(PATCH),
+		WithVariant(VariantAll),
+		WithTenureTimeoutFactor(4),
+		WithNoDeactWindow(),
+		WithMaxCycles(123),
+	)
+	sc := cfg.ToSim()
+	if sc.TenureTimeoutFactor != 4 || !sc.NoDeactWindow || sc.MaxCycles != 123 {
+		t.Fatalf("ablation knobs lost in lowering: %+v", sc)
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		opts []Option
+		want error
+	}{
+		{"unknown protocol", []Option{WithProtocol(Protocol(9))}, ErrUnknownProtocol},
+		{"unknown variant", []Option{WithVariant(Variant(9))}, ErrUnknownVariant},
+		{"unknown workload", []Option{WithWorkload("sqlite")}, ErrUnknownWorkload},
+		{"cores not power of two", []Option{WithCores(12)}, ErrBadCores},
+		{"cores too large", []Option{WithCores(2048)}, ErrBadCores},
+		{"cores negative", []Option{WithCores(-4)}, ErrBadCores},
+		{"coarseness above cores", []Option{WithCores(16), WithCoarseness(32)}, ErrBadCoarseness},
+		{"coarseness not dividing", []Option{WithCores(16), WithCoarseness(3)}, ErrBadCoarseness},
+		{"coarseness negative", []Option{WithCoarseness(-1)}, ErrBadCoarseness},
+		{"negative ops", []Option{WithOps(-1)}, ErrBadOps},
+		{"warmup below -1", []Option{WithWarmup(-2)}, ErrBadWarmup},
+		{"negative bandwidth", []Option{WithBandwidth(-5)}, ErrBadBandwidth},
+		{"bandwidth conflict", []Option{WithBandwidth(2000), WithUnboundedBandwidth()}, ErrBandwidthConflict},
+		{"negative tenure factor", []Option{WithTenureTimeoutFactor(-1)}, ErrBadTenureFactor},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := New(tc.opts...); !errors.Is(err, tc.want) {
+				t.Fatalf("New() error = %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestCoarsenessValidAgainstDefaultCores(t *testing.T) {
+	// Cores 0 means the paper's 64; a coarseness of 64 divides it.
+	if _, err := New(WithCoarseness(64)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(WithCoarseness(128)); !errors.Is(err, ErrBadCoarseness) {
+		t.Fatalf("coarseness 128 on 64 default cores accepted: %v", err)
+	}
+}
+
+func TestRunValidates(t *testing.T) {
+	if _, err := Run(Config{Cores: 12}); !errors.Is(err, ErrBadCores) {
+		t.Fatalf("Run accepted a 12-core torus: %v", err)
+	}
+	if _, err := Run(Config{Workload: "nope"}); !errors.Is(err, ErrUnknownWorkload) {
+		t.Fatalf("Run accepted an unknown workload: %v", err)
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew did not panic on an invalid config")
+		}
+	}()
+	MustNew(WithCores(3))
+}

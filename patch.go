@@ -20,22 +20,28 @@
 // interconnect with fan-out multicast, a deprioritised droppable
 // best-effort message class, and per-link bandwidth modelling.
 //
-// The simplest entry point:
+// The simplest entry point builds a validated configuration from
+// functional options and runs it:
 //
-//	res, err := patch.Run(patch.Config{
-//		Protocol: patch.PATCH,
-//		Variant:  patch.VariantAll,
-//		Cores:    64,
-//		Workload: "oltp",
-//	})
+//	cfg, err := patch.New(
+//		patch.WithProtocol(patch.PATCH),
+//		patch.WithVariant(patch.VariantAll),
+//		patch.WithCores(64),
+//		patch.WithWorkload("oltp"),
+//	)
+//	res, err := patch.Run(cfg)
 //
 // Variants map onto the paper's configurations (PATCH-NONE, PATCH-OWNER,
 // PATCH-BROADCASTIFSHARED, PATCH-ALL, PATCH-ALL-NONADAPTIVE). Use
 // RunSeeds to collect several perturbed runs and a 95% confidence
-// interval, as the paper's figures do.
+// interval, as the paper's figures do, or declare a whole grid of
+// configurations x workloads x seeds as a Matrix and run it in parallel
+// with Sweep, streaming results to pluggable Emitters (CSV, JSON,
+// markdown, ASCII charts).
 package patch
 
 import (
+	"context"
 	"fmt"
 
 	"patch/internal/interconnect"
@@ -116,6 +122,17 @@ type Config struct {
 	// cores); 1 or 0 selects an exact full map (Figures 9-10).
 	DirectoryCoarseness int
 
+	// TenureTimeoutFactor scales the token-tenure probationary period
+	// relative to the average round trip (PATCH ablation; 0 selects the
+	// paper's 2x design point).
+	TenureTimeoutFactor float64
+	// NoDeactWindow disables the post-deactivation direct-request ignore
+	// window (PATCH ablation, §5.2's racing-request mitigation).
+	NoDeactWindow bool
+	// MaxCycles aborts a run that stops making progress (liveness
+	// watchdog); 0 selects a generous default.
+	MaxCycles uint64
+
 	// SkipChecks disables the end-of-run invariant verification
 	// (benchmark loops only).
 	SkipChecks bool
@@ -161,15 +178,18 @@ func (c Config) ToSim() sim.Config { return c.toSim() }
 
 func (c Config) toSim() sim.Config {
 	sc := sim.Config{
-		Protocol:   c.Protocol,
-		Cores:      c.Cores,
-		OpsPerCore: c.OpsPerCore,
-		WarmupOps:  c.WarmupOps,
-		Seed:       c.Seed,
-		Workload:   c.Workload,
-		TraceFile:  c.TraceFile,
-		Coarseness: c.DirectoryCoarseness,
-		SkipChecks: c.SkipChecks,
+		Protocol:            c.Protocol,
+		Cores:               c.Cores,
+		OpsPerCore:          c.OpsPerCore,
+		WarmupOps:           c.WarmupOps,
+		Seed:                c.Seed,
+		Workload:            c.Workload,
+		TraceFile:           c.TraceFile,
+		Coarseness:          c.DirectoryCoarseness,
+		TenureTimeoutFactor: c.TenureTimeoutFactor,
+		NoDeactWindow:       c.NoDeactWindow,
+		MaxCycles:           c.MaxCycles,
+		SkipChecks:          c.SkipChecks,
 	}
 	if c.Protocol == sim.PATCH {
 		switch c.Variant {
@@ -215,8 +235,12 @@ func fromSim(r *sim.Result) *Result {
 
 // Run executes one simulation to completion, verifying the protocol
 // invariants (token conservation, single-writer, liveness) unless
-// SkipChecks is set.
+// SkipChecks is set. The configuration is validated first, so bad
+// parameters surface as typed errors rather than deep-in-sim failures.
 func Run(cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	r, err := sim.Run(cfg.toSim())
 	if err != nil {
 		return nil, err
@@ -226,27 +250,17 @@ func Run(cfg Config) (*Result, error) {
 
 // RunSeeds executes n perturbed runs (seeds seed..seed+n-1) and returns
 // per-metric summaries with Student-t 95% confidence intervals, the
-// paper's methodology [Alameldeen et al.].
+// paper's methodology [Alameldeen et al.]. It is a one-cell Sweep: the
+// runs execute on the worker pool but aggregate deterministically.
 func RunSeeds(cfg Config, n int) (*Summary, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("patch: need at least one run, got %d", n)
 	}
-	s := &Summary{}
-	var cycles, bpm []float64
-	for i := 0; i < n; i++ {
-		c := cfg
-		c.Seed = cfg.Seed + int64(i)
-		r, err := Run(c)
-		if err != nil {
-			return nil, err
-		}
-		s.Results = append(s.Results, r)
-		cycles = append(cycles, float64(r.Cycles))
-		bpm = append(bpm, r.BytesPerMiss)
+	res, err := Sweep(context.Background(), Matrix{Base: cfg, Seeds: n})
+	if err != nil {
+		return nil, err
 	}
-	s.Runtime = stats.Summarize(cycles)
-	s.BytesPerMiss = stats.Summarize(bpm)
-	return s, nil
+	return res.Cells[0].Summary, nil
 }
 
 // Workloads lists the named application workloads in the paper's figure

@@ -1,0 +1,389 @@
+package patch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"patch/internal/stats"
+)
+
+// Unbounded, as a Matrix.Bandwidths value, selects contention-free
+// links (the sweep-axis spelling of Config.UnboundedBandwidth).
+const Unbounded = -1
+
+// ErrEmptyMatrix reports a Matrix whose expansion produced no cells
+// (for example, a Filter that rejected everything).
+var ErrEmptyMatrix = errors.New("patch: matrix expands to no cells")
+
+// ProtoVariant names one protocol column of a sweep: a protocol plus,
+// for PATCH, the prediction variant. Label overrides the display name
+// (e.g. the paper's "PATCH-All-NA" for VariantAllNonAdaptive).
+type ProtoVariant struct {
+	Protocol Protocol
+	Variant  Variant // PATCH only
+	Label    string  // optional display override
+}
+
+// Name returns the display label: Label if set, the variant name for
+// PATCH, the protocol name otherwise.
+func (pv ProtoVariant) Name() string {
+	if pv.Label != "" {
+		return pv.Label
+	}
+	if pv.Protocol == PATCH {
+		return pv.Variant.String()
+	}
+	return pv.Protocol.String()
+}
+
+// FigureProtocols returns the paper's Figure 4/5 column set: Directory,
+// the four PATCH variants, and TokenB.
+func FigureProtocols() []ProtoVariant {
+	return []ProtoVariant{
+		{Protocol: Directory},
+		{Protocol: PATCH, Variant: VariantNone},
+		{Protocol: PATCH, Variant: VariantOwner},
+		{Protocol: PATCH, Variant: VariantBroadcastIfShared, Label: "Bcast-If-Shared"},
+		{Protocol: PATCH, Variant: VariantAll},
+		{Protocol: TokenB},
+	}
+}
+
+// AdaptivityProtocols returns the bandwidth-adaptivity column set of
+// Figures 6-8: Directory, guaranteed-delivery PATCH-All, best-effort
+// PATCH-All.
+func AdaptivityProtocols() []ProtoVariant {
+	return []ProtoVariant{
+		{Protocol: Directory},
+		{Protocol: PATCH, Variant: VariantAllNonAdaptive, Label: "PATCH-All-NA"},
+		{Protocol: PATCH, Variant: VariantAll},
+	}
+}
+
+// Matrix declares a sweep: a base configuration plus axes whose
+// cross-product defines the cells, mirroring how the paper's evaluation
+// (§8) is a grid of configurations x workloads x seeds. An empty axis
+// keeps the base configuration's value. Expansion order is fixed and
+// documented — Workloads (outermost), then Cores, Bandwidths,
+// Coarseness, and Protocols (innermost) — so results are stable and
+// independent of how many workers run the sweep.
+type Matrix struct {
+	// Base is the cell template; axis values override its fields.
+	Base Config
+
+	Protocols  []ProtoVariant
+	Workloads  []string
+	Bandwidths []int // bytes/kilocycle; 0 = paper default, Unbounded = no contention
+	Coarseness []int
+	Cores      []int
+
+	// Seeds is the number of perturbed runs per cell (Base.Seed,
+	// Base.Seed+1, ...); 0 means 1.
+	Seeds int
+
+	// Adjust, when set, rewrites each expanded cell configuration —
+	// e.g. scaling OpsPerCore down as Cores grows, as the paper's
+	// scalability sweep does. It must be deterministic.
+	Adjust func(Config) Config
+
+	// Filter, when set, drops cells it returns false for — e.g.
+	// coarseness values exceeding the cell's core count.
+	Filter func(Config) bool
+}
+
+// A cell is one expanded configuration plus its display label.
+type cell struct {
+	cfg   Config
+	label string
+}
+
+// expand produces the validated cross-product in deterministic order.
+func (m Matrix) expand() ([]cell, error) {
+	workloads := m.Workloads
+	if len(workloads) == 0 {
+		workloads = []string{m.Base.Workload}
+	}
+	coreCounts := m.Cores
+	if len(coreCounts) == 0 {
+		coreCounts = []int{m.Base.Cores}
+	}
+	bandwidths := m.Bandwidths
+	if len(bandwidths) == 0 {
+		bw := m.Base.BandwidthBytesPerKiloCycle
+		if m.Base.UnboundedBandwidth {
+			bw = Unbounded
+		}
+		bandwidths = []int{bw}
+	}
+	coarsenesses := m.Coarseness
+	if len(coarsenesses) == 0 {
+		coarsenesses = []int{m.Base.DirectoryCoarseness}
+	}
+	protocols := m.Protocols
+	if len(protocols) == 0 {
+		protocols = []ProtoVariant{{Protocol: m.Base.Protocol, Variant: m.Base.Variant}}
+	}
+
+	var cells []cell
+	for _, wl := range workloads {
+		for _, cores := range coreCounts {
+			for _, bw := range bandwidths {
+				for _, k := range coarsenesses {
+					for _, pv := range protocols {
+						cfg := m.Base
+						cfg.Workload = wl
+						cfg.Cores = cores
+						cfg.DirectoryCoarseness = k
+						cfg.Protocol = pv.Protocol
+						cfg.Variant = pv.Variant
+						if bw == Unbounded {
+							cfg.UnboundedBandwidth = true
+							cfg.BandwidthBytesPerKiloCycle = 0
+						} else {
+							cfg.UnboundedBandwidth = false
+							cfg.BandwidthBytesPerKiloCycle = bw
+						}
+						if m.Adjust != nil {
+							cfg = m.Adjust(cfg)
+						}
+						if m.Filter != nil && !m.Filter(cfg) {
+							continue
+						}
+						if err := cfg.Validate(); err != nil {
+							// The wrapped error already carries the
+							// "patch:" prefix.
+							return nil, fmt.Errorf("cell %d (%s): %w", len(cells), pv.Name(), err)
+						}
+						cells = append(cells, cell{cfg: cfg, label: pv.Name()})
+					}
+				}
+			}
+		}
+	}
+	return cells, nil
+}
+
+// NumCells returns how many cells the matrix expands to (0 on an
+// invalid matrix).
+func (m Matrix) NumCells() int {
+	cells, err := m.expand()
+	if err != nil {
+		return 0
+	}
+	return len(cells)
+}
+
+// CellResult is one completed cell of a sweep.
+type CellResult struct {
+	// Index is the cell's position in the matrix expansion order.
+	Index int
+	// Label names the protocol column (ProtoVariant.Name).
+	Label string
+	// Config is the cell's fully expanded configuration (Seed is the
+	// base seed; the Summary aggregates Seeds perturbed runs).
+	Config Config
+	// Summary aggregates the cell's seeded runs.
+	Summary *Summary
+}
+
+// SweepResult is a completed sweep: cells in matrix expansion order,
+// bit-identical regardless of worker count.
+type SweepResult struct {
+	Cells []CellResult
+	// Runs is the total number of simulations executed.
+	Runs int
+}
+
+// SweepOption tunes sweep execution.
+type SweepOption func(*sweepOptions)
+
+type sweepOptions struct {
+	workers  int
+	progress func(done, total int)
+	emitters []Emitter
+}
+
+// Workers bounds the worker pool; n <= 0 (the default) selects
+// runtime.GOMAXPROCS(0).
+func Workers(n int) SweepOption { return func(o *sweepOptions) { o.workers = n } }
+
+// OnProgress installs a callback invoked after every completed run with
+// (done, total) counts. Calls are serialised; keep the callback fast.
+func OnProgress(f func(done, total int)) SweepOption {
+	return func(o *sweepOptions) { o.progress = f }
+}
+
+// EmitTo streams completed cells, in matrix order, to an emitter. May
+// be given several times; emitters run in registration order.
+func EmitTo(e Emitter) SweepOption {
+	return func(o *sweepOptions) { o.emitters = append(o.emitters, e) }
+}
+
+// Sweep expands the matrix and runs every cell x seed on a worker pool.
+// Results aggregate deterministically: the same matrix produces
+// bit-identical summaries at any worker count, because each run is an
+// independent simulation keyed by (cell, seed) and aggregation is
+// position-indexed. The context cancels the sweep between runs (an
+// individual simulation is not interruptible); the first run error
+// cancels the remaining work and is returned.
+func Sweep(ctx context.Context, m Matrix, opts ...SweepOption) (*SweepResult, error) {
+	var o sweepOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	cells, err := m.expand()
+	if err != nil {
+		return nil, err
+	}
+	if len(cells) == 0 {
+		return nil, ErrEmptyMatrix
+	}
+	seeds := m.Seeds
+	if seeds <= 0 {
+		seeds = 1
+	}
+	total := len(cells) * seeds
+	workers := o.workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > total {
+		workers = total
+	}
+
+	// endAll finalises every emitter in emitters, keeping the first
+	// error; even failing sweeps terminate streaming output cleanly.
+	endAll := func(emitters []Emitter) error {
+		var first error
+		for _, e := range emitters {
+			if err := e.End(); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	for i, e := range o.emitters {
+		if err := e.Begin(len(cells)); err != nil {
+			_ = endAll(o.emitters[:i]) // close out the already-begun ones
+			return nil, err
+		}
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type task struct{ cell, seed int }
+	tasks := make(chan task)
+	go func() {
+		defer close(tasks)
+		for c := range cells {
+			for s := 0; s < seeds; s++ {
+				select {
+				case tasks <- task{c, s}:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}
+	}()
+
+	var (
+		mu        sync.Mutex
+		firstErr  error
+		done      int
+		results   = make([][]*Result, len(cells))
+		seedsDone = make([]int, len(cells))
+		summaries = make([]*Summary, len(cells))
+		nextEmit  int
+	)
+	for i := range results {
+		results[i] = make([]*Result, seeds)
+	}
+	fail := func(err error) {
+		if firstErr == nil {
+			firstErr = err
+			cancel()
+		}
+	}
+	// finish summarises newly completed cells and streams them, in
+	// matrix order, to the emitters. Called with mu held. Once the
+	// sweep has failed, nothing further is emitted (in-flight workers
+	// still complete and re-enter here).
+	finish := func() {
+		for firstErr == nil && nextEmit < len(cells) && seedsDone[nextEmit] == seeds {
+			i := nextEmit
+			summaries[i] = summarize(results[i])
+			for _, e := range o.emitters {
+				if err := e.Cell(CellResult{Index: i, Label: cells[i].label, Config: cells[i].cfg, Summary: summaries[i]}); err != nil {
+					fail(err)
+					return
+				}
+			}
+			nextEmit++
+		}
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range tasks {
+				if ctx.Err() != nil {
+					return
+				}
+				cfg := cells[t.cell].cfg
+				cfg.Seed += int64(t.seed)
+				r, err := Run(cfg)
+				mu.Lock()
+				if err != nil {
+					fail(fmt.Errorf("patch: %s seed %d: %w", cells[t.cell].label, cfg.Seed, err))
+				} else {
+					results[t.cell][t.seed] = r
+					seedsDone[t.cell]++
+					done++
+					if o.progress != nil {
+						o.progress(done, total)
+					}
+					finish()
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+
+	if firstErr != nil || ctx.Err() != nil {
+		// Emitter End errors are secondary to the sweep failure.
+		_ = endAll(o.emitters)
+		if firstErr != nil {
+			return nil, firstErr
+		}
+		return nil, ctx.Err()
+	}
+	out := &SweepResult{Cells: make([]CellResult, len(cells)), Runs: total}
+	for i := range cells {
+		out.Cells[i] = CellResult{Index: i, Label: cells[i].label, Config: cells[i].cfg, Summary: summaries[i]}
+	}
+	if err := endAll(o.emitters); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// summarize folds one cell's seeded runs into a Summary, in seed order.
+func summarize(runs []*Result) *Summary {
+	s := &Summary{Results: runs}
+	cycles := make([]float64, len(runs))
+	bpm := make([]float64, len(runs))
+	for i, r := range runs {
+		cycles[i] = float64(r.Cycles)
+		bpm[i] = r.BytesPerMiss
+	}
+	s.Runtime = stats.Summarize(cycles)
+	s.BytesPerMiss = stats.Summarize(bpm)
+	return s
+}

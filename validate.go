@@ -1,0 +1,98 @@
+package patch
+
+import (
+	"errors"
+	"fmt"
+
+	"patch/internal/workload"
+)
+
+// Validation errors. Each failure returned by Validate (and therefore
+// New, Run, and Sweep) wraps exactly one of these sentinels, so callers
+// can classify failures with errors.Is.
+var (
+	// ErrUnknownProtocol reports a Protocol outside Directory/PATCH/TokenB.
+	ErrUnknownProtocol = errors.New("unknown protocol")
+	// ErrUnknownVariant reports a Variant outside the paper's five PATCH
+	// configurations.
+	ErrUnknownVariant = errors.New("unknown PATCH variant")
+	// ErrUnknownWorkload reports a workload name with no built-in
+	// generator.
+	ErrUnknownWorkload = errors.New("unknown workload")
+	// ErrBadCores reports a core count outside the evaluated design
+	// space: a power of two in [1, 1024], the counts for which the
+	// near-square torus layout and the paper's 4..512-core methodology
+	// are exercised and checked.
+	ErrBadCores = errors.New("core count must be a power of two in [1, 1024]")
+	// ErrBadCoarseness reports a sharer-encoding coarseness that is
+	// negative, exceeds the core count, or does not divide it evenly.
+	ErrBadCoarseness = errors.New("invalid directory coarseness")
+	// ErrBadOps reports a negative operation count.
+	ErrBadOps = errors.New("ops per core must be non-negative")
+	// ErrBadWarmup reports a warmup count below -1 (-1 disables warmup).
+	ErrBadWarmup = errors.New("warmup ops must be >= -1")
+	// ErrBadBandwidth reports a negative link bandwidth.
+	ErrBadBandwidth = errors.New("link bandwidth must be non-negative")
+	// ErrBandwidthConflict reports UnboundedBandwidth combined with an
+	// explicit finite link bandwidth.
+	ErrBandwidthConflict = errors.New("unbounded bandwidth conflicts with an explicit link bandwidth")
+	// ErrBadTenureFactor reports a negative tenure-timeout factor.
+	ErrBadTenureFactor = errors.New("tenure timeout factor must be non-negative")
+)
+
+// Validate checks the configuration against the simulator's actual
+// constraints without building anything. Zero values are valid: they
+// select the paper's defaults (64 cores, oltp-free "micro" workload,
+// 16 B/cycle links, exact full-map directory).
+func (c Config) Validate() error {
+	if c.Protocol < Directory || c.Protocol > TokenB {
+		return fmt.Errorf("patch: %w: Protocol(%d)", ErrUnknownProtocol, int(c.Protocol))
+	}
+	if c.Variant < VariantNone || c.Variant > VariantAllNonAdaptive {
+		return fmt.Errorf("patch: %w: Variant(%d)", ErrUnknownVariant, int(c.Variant))
+	}
+	cores := c.Cores
+	if cores == 0 {
+		cores = 64 // sim's default
+	}
+	if cores < 1 || cores > 1024 || cores&(cores-1) != 0 {
+		return fmt.Errorf("patch: %w: got %d", ErrBadCores, c.Cores)
+	}
+	if c.TraceFile == "" && c.Workload != "" && !knownWorkload(c.Workload) {
+		return fmt.Errorf("patch: %w: %q (have %v and \"micro\")", ErrUnknownWorkload, c.Workload, workload.Names())
+	}
+	if k := c.DirectoryCoarseness; k != 0 {
+		if k < 0 || k > cores || cores%k != 0 {
+			return fmt.Errorf("patch: %w: K=%d with %d cores (need 1 <= K <= cores, K | cores)",
+				ErrBadCoarseness, k, cores)
+		}
+	}
+	if c.OpsPerCore < 0 {
+		return fmt.Errorf("patch: %w: got %d", ErrBadOps, c.OpsPerCore)
+	}
+	if c.WarmupOps < -1 {
+		return fmt.Errorf("patch: %w: got %d", ErrBadWarmup, c.WarmupOps)
+	}
+	if c.BandwidthBytesPerKiloCycle < 0 {
+		return fmt.Errorf("patch: %w: got %d", ErrBadBandwidth, c.BandwidthBytesPerKiloCycle)
+	}
+	if c.UnboundedBandwidth && c.BandwidthBytesPerKiloCycle > 0 {
+		return fmt.Errorf("patch: %w: %d B/kilocycle", ErrBandwidthConflict, c.BandwidthBytesPerKiloCycle)
+	}
+	if c.TenureTimeoutFactor < 0 {
+		return fmt.Errorf("patch: %w: got %g", ErrBadTenureFactor, c.TenureTimeoutFactor)
+	}
+	return nil
+}
+
+func knownWorkload(name string) bool {
+	if name == "micro" {
+		return true
+	}
+	for _, n := range workload.Names() {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
