@@ -1,0 +1,294 @@
+// Command bench runs the representative performance grid and records the
+// result as a machine-readable BENCH_<date>.json artifact, so the
+// simulator's perf trajectory (ns/op, allocs/op, simulated cycles per
+// wall-clock second) is a committed record rather than a claim.
+//
+// Usage:
+//
+//	bench                 # full grid, writes BENCH_<date>.json
+//	bench -quick          # smoke scale (CI)
+//	bench -out FILE       # override the output path
+//	bench -compare FILE   # print an old-vs-new table against a prior record
+//
+// Without -compare, the newest BENCH_*.json in the working directory
+// (other than the one being written) is used as the comparison baseline
+// when present.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"testing"
+	"time"
+
+	patch "patch"
+	"patch/internal/predictor"
+	"patch/internal/sim"
+)
+
+// Record is one benchmark scenario's measurement.
+type Record struct {
+	Name            string  `json:"name"`
+	NsPerOp         float64 `json:"ns_per_op"`
+	AllocsPerOp     int64   `json:"allocs_per_op"`
+	BytesPerOp      int64   `json:"bytes_per_op"`
+	SimCyclesPerOp  float64 `json:"sim_cycles_per_op"`
+	SimCyclesPerSec float64 `json:"sim_cycles_per_sec"`
+	Iterations      int     `json:"iterations"`
+}
+
+// File is the on-disk BENCH_<date>.json schema.
+type File struct {
+	Date       string   `json:"date"`
+	GoVersion  string   `json:"go_version"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Quick      bool     `json:"quick"`
+	Records    []Record `json:"records"`
+}
+
+// scenario is one named benchmark body; it returns the simulated cycles
+// covered by a single iteration so throughput can be derived.
+type scenario struct {
+	name string
+	run  func(b *testing.B) (simCycles float64)
+}
+
+// scenarioErr carries a scenario failure out of the benchmark body:
+// b.Fatal aborts the body via runtime.Goexit without surfacing the
+// error, so fail records it where the driver can report it.
+var scenarioErr error
+
+func fail(b *testing.B, err error) {
+	if scenarioErr == nil {
+		scenarioErr = err
+	}
+	b.Fatal(err)
+}
+
+func simScenario(name string, cfg sim.Config) scenario {
+	return scenario{name: name, run: func(b *testing.B) float64 {
+		var cycles float64
+		for i := 0; i < b.N; i++ {
+			c := cfg
+			c.Seed = int64(i + 1)
+			c.SkipChecks = true
+			r, err := sim.Run(c)
+			if err != nil {
+				fail(b, err)
+			}
+			cycles += float64(r.Cycles)
+		}
+		return cycles / float64(b.N)
+	}}
+}
+
+func scenarios(quick bool) []scenario {
+	ops := 300
+	if quick {
+		ops = 60
+	}
+	base := func(p sim.Kind, wl string) sim.Config {
+		return sim.Config{Protocol: p, Cores: 16, OpsPerCore: ops, WarmupOps: 2 * ops, Workload: wl}
+	}
+	patchAll := base(sim.PATCH, "oltp")
+	patchAll.Policy = predictor.All
+	patchAll.BestEffort = true
+
+	sweepOps := 200
+	seeds := 2
+	if quick {
+		sweepOps, seeds = 50, 1
+	}
+	m := patch.Matrix{
+		Base: patch.Config{
+			Cores: 16, OpsPerCore: sweepOps, WarmupOps: 2 * sweepOps,
+			Workload: "oltp", Seed: 1, SkipChecks: true,
+		},
+		Protocols: patch.FigureProtocols(),
+		Seeds:     seeds,
+	}
+	return []scenario{
+		simScenario("sim/directory-micro", base(sim.Directory, "micro")),
+		simScenario("sim/patch-all-oltp", patchAll),
+		simScenario("sim/tokenb-micro", base(sim.TokenB, "micro")),
+		{name: "sweep/fig4-oltp-grid", run: func(b *testing.B) float64 {
+			var cycles float64
+			for i := 0; i < b.N; i++ {
+				res, err := patch.Sweep(context.Background(), m, patch.Workers(1))
+				if err != nil {
+					fail(b, err)
+				}
+				for _, c := range res.Cells {
+					for _, r := range c.Summary.Results {
+						cycles += float64(r.Cycles)
+					}
+				}
+			}
+			return cycles / float64(b.N)
+		}},
+	}
+}
+
+func main() {
+	quick := flag.Bool("quick", false, "smoke scale (single iteration, smaller grid)")
+	out := flag.String("out", "", "output path (default BENCH_<date>.json)")
+	compare := flag.String("compare", "", "prior BENCH_*.json to diff against (default: newest in cwd)")
+	flag.Parse()
+
+	date := time.Now().Format("2006-01-02")
+	path := *out
+	if path == "" {
+		path = fmt.Sprintf("BENCH_%s.json", date)
+	}
+
+	f := File{Date: date, GoVersion: runtime.Version(), GOMAXPROCS: runtime.GOMAXPROCS(0), Quick: *quick}
+	for _, sc := range scenarios(*quick) {
+		var simCycles float64
+		body := func(b *testing.B) {
+			b.ReportAllocs()
+			simCycles = sc.run(b)
+		}
+		var res testing.BenchmarkResult
+		if *quick {
+			res = runOnce(body)
+		} else {
+			res = testing.Benchmark(body)
+		}
+		if scenarioErr != nil {
+			fatal(fmt.Errorf("%s: %w", sc.name, scenarioErr))
+		}
+		rec := Record{
+			Name:           sc.name,
+			NsPerOp:        float64(res.T.Nanoseconds()) / float64(res.N),
+			AllocsPerOp:    res.AllocsPerOp(),
+			BytesPerOp:     res.AllocedBytesPerOp(),
+			SimCyclesPerOp: simCycles,
+			Iterations:     res.N,
+		}
+		if res.T > 0 {
+			rec.SimCyclesPerSec = simCycles * float64(res.N) / res.T.Seconds()
+		}
+		f.Records = append(f.Records, rec)
+		fmt.Printf("%-24s %12.0f ns/op %10d allocs/op %12d B/op %14.0f simcycles/s\n",
+			rec.Name, rec.NsPerOp, rec.AllocsPerOp, rec.BytesPerOp, rec.SimCyclesPerSec)
+	}
+
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", path)
+
+	basePath := *compare
+	if basePath == "" {
+		basePath = newestOther(path)
+	}
+	if basePath != "" {
+		printComparison(basePath, f)
+	}
+}
+
+// runOnce executes the benchmark body exactly once (b.N=1) with its own
+// allocation accounting — testing.Benchmark would rerun it for timing
+// stability, which the CI smoke job does not need. The body runs on its
+// own goroutine because a failing body exits via runtime.Goexit
+// (b.Fatal); the driver then reports scenarioErr instead of deadlocking.
+func runOnce(body func(b *testing.B)) testing.BenchmarkResult {
+	var before, after runtime.MemStats
+	b := &testing.B{N: 1}
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		body(b)
+	}()
+	<-done
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return testing.BenchmarkResult{
+		N:         1,
+		T:         elapsed,
+		MemAllocs: after.Mallocs - before.Mallocs,
+		MemBytes:  after.TotalAlloc - before.TotalAlloc,
+	}
+}
+
+// newestOther returns the most recently modified BENCH_*.json that is
+// not the file just written, with lexical order as the tiebreak.
+// Modification time (not name order) decides, so a same-date pair like
+// BENCH_<date>_before.json / BENCH_<date>.json compares against the
+// newer record rather than whichever name sorts last.
+func newestOther(exclude string) string {
+	matches, _ := filepath.Glob("BENCH_*.json")
+	sort.Strings(matches)
+	best, bestTime := "", time.Time{}
+	for _, m := range matches {
+		if filepath.Clean(m) == filepath.Clean(exclude) {
+			continue
+		}
+		info, err := os.Stat(m)
+		if err != nil {
+			continue
+		}
+		if best == "" || info.ModTime().After(bestTime) {
+			best, bestTime = m, info.ModTime()
+		}
+	}
+	return best
+}
+
+func printComparison(basePath string, cur File) {
+	data, err := os.ReadFile(basePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "compare: %v\n", err)
+		return
+	}
+	var base File
+	if err := json.Unmarshal(data, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "compare: %s: %v\n", basePath, err)
+		return
+	}
+	old := make(map[string]Record, len(base.Records))
+	for _, r := range base.Records {
+		old[r.Name] = r
+	}
+	fmt.Printf("\nvs %s (%s):\n", basePath, base.Date)
+	if base.Quick != cur.Quick {
+		fmt.Printf("warning: scale mismatch (baseline quick=%v, this run quick=%v) — ratios compare different grids\n",
+			base.Quick, cur.Quick)
+	}
+	fmt.Printf("%-24s %22s %26s\n", "scenario", "ns/op old->new", "allocs/op old->new")
+	for _, r := range cur.Records {
+		o, ok := old[r.Name]
+		if !ok {
+			fmt.Printf("%-24s (no baseline)\n", r.Name)
+			continue
+		}
+		fmt.Printf("%-24s %9.0f -> %-9.0f (%s) %9d -> %-9d (%s)\n",
+			r.Name, o.NsPerOp, r.NsPerOp, ratio(o.NsPerOp, r.NsPerOp),
+			o.AllocsPerOp, r.AllocsPerOp, ratio(float64(o.AllocsPerOp), float64(r.AllocsPerOp)))
+	}
+}
+
+func ratio(old, new float64) string {
+	if old <= 0 || new <= 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.2fx", old/new)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,42 @@
+package patch
+
+import (
+	"bytes"
+	"context"
+	"testing"
+)
+
+// TestSweepCSVByteIdentical is the end-to-end determinism regression
+// gate for the engine's pooled hot path: one mid-size Figure-4-shaped
+// cell grid must render byte-identical CSV output across repeated runs
+// and across worker counts. Any nondeterminism introduced by slot or
+// message recycling (or by parallel aggregation) shows up here as a
+// byte diff.
+func TestSweepCSVByteIdentical(t *testing.T) {
+	m := Matrix{
+		Base: Config{
+			Cores: 16, OpsPerCore: 150, WarmupOps: 300,
+			Workload: "oltp", Seed: 5, SkipChecks: true,
+		},
+		Protocols: FigureProtocols(),
+		Seeds:     2,
+	}
+	run := func(workers int) []byte {
+		t.Helper()
+		var buf bytes.Buffer
+		if _, err := Sweep(context.Background(), m, Workers(workers), EmitTo(&CSVEmitter{W: &buf})); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return buf.Bytes()
+	}
+	first := run(1)
+	if len(first) == 0 {
+		t.Fatal("empty CSV output")
+	}
+	if again := run(1); !bytes.Equal(first, again) {
+		t.Errorf("repeat run diverged:\n--- first\n%s\n--- second\n%s", first, again)
+	}
+	if par := run(4); !bytes.Equal(first, par) {
+		t.Errorf("workers=4 diverged from sequential:\n--- sequential\n%s\n--- parallel\n%s", first, par)
+	}
+}

@@ -1,0 +1,94 @@
+// Package addrmap provides an open-addressed hash table keyed by block
+// address, replacing map[msg.Addr] lookups on simulator hot paths. The
+// table stores entries densely in insertion order, which makes iteration
+// deterministic (Go's map iteration order is randomised) and cache
+// friendly; the index table is linear-probed with a multiplicative hash,
+// so a lookup is a few array probes instead of runtime map machinery.
+//
+// Deletion is deliberately unsupported: the simulator's per-block state
+// (directory entries, store counts, version watermarks) only grows.
+package addrmap
+
+import "patch/internal/msg"
+
+// Map is an insertion-ordered, open-addressed hash map from block
+// address to V. The zero value is an empty map ready for use.
+type Map[V any] struct {
+	idx   []int32 // slot -> position+1 in addrs/vals; 0 = empty
+	mask  uint64
+	addrs []msg.Addr
+	vals  []V
+}
+
+// hash is Fibonacci hashing: odd multiplier, high bits taken by mask
+// after the shift folds entropy downward.
+func hash(a msg.Addr) uint64 {
+	h := uint64(a) * 0x9E3779B97F4A7C15
+	return h ^ h>>29
+}
+
+// Len returns the number of entries.
+func (m *Map[V]) Len() int { return len(m.addrs) }
+
+// Get returns the value stored for a, if any.
+func (m *Map[V]) Get(a msg.Addr) (V, bool) {
+	if len(m.idx) == 0 {
+		var zero V
+		return zero, false
+	}
+	for i := hash(a) & m.mask; ; i = (i + 1) & m.mask {
+		p := m.idx[i]
+		if p == 0 {
+			var zero V
+			return zero, false
+		}
+		if m.addrs[p-1] == a {
+			return m.vals[p-1], true
+		}
+	}
+}
+
+// Ptr returns a pointer to the value stored for a, inserting the zero
+// value first if absent. The pointer is invalidated by the next insert.
+func (m *Map[V]) Ptr(a msg.Addr) *V {
+	if len(m.idx) == 0 || len(m.addrs) >= len(m.idx)*3/4 {
+		m.grow()
+	}
+	for i := hash(a) & m.mask; ; i = (i + 1) & m.mask {
+		p := m.idx[i]
+		if p == 0 {
+			var zero V
+			m.addrs = append(m.addrs, a)
+			m.vals = append(m.vals, zero)
+			m.idx[i] = int32(len(m.addrs))
+			return &m.vals[len(m.vals)-1]
+		}
+		if m.addrs[p-1] == a {
+			return &m.vals[p-1]
+		}
+	}
+}
+
+// grow (re)builds the index table at twice the capacity.
+func (m *Map[V]) grow() {
+	size := 2 * len(m.idx)
+	if size == 0 {
+		size = 64
+	}
+	m.idx = make([]int32, size)
+	m.mask = uint64(size - 1)
+	for pos, a := range m.addrs {
+		i := hash(a) & m.mask
+		for m.idx[i] != 0 {
+			i = (i + 1) & m.mask
+		}
+		m.idx[i] = int32(pos + 1)
+	}
+}
+
+// ForEach visits every entry in insertion order.
+func (m *Map[V]) ForEach(fn func(a msg.Addr, v *V)) {
+	for i := range m.addrs {
+		fn(m.addrs[i], &m.vals[i])
+	}
+}

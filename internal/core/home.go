@@ -14,11 +14,16 @@ import (
 // inherits from DIRECTORY (one active request per block; arrival order
 // at the home decides the service order of races).
 func (n *Node) homeReceive(now event.Time, m *msg.Message) {
+	// The delivered message is consulted after the lookup delay, so hold
+	// a reference across the deferred step; queued requests are copied by
+	// value so the pooled message can be recycled immediately.
+	n.Env.Net.Retain(m)
 	n.Env.Eng.After(event.Time(n.dir.LookupLatency), func(now event.Time) {
+		defer n.Env.Net.Release(m)
 		e := n.dir.Entry(m.Addr)
 		if e.Busy {
 			e.Queue = append(e.Queue, directory.Pending{
-				Req: m.Requester, IsWrite: m.IsWrite, Transient: m,
+				Req: m.Requester, IsWrite: m.IsWrite, Transient: m.Detached(),
 			})
 			return
 		}
@@ -32,7 +37,9 @@ func (n *Node) homeReceive(now event.Time, m *msg.Message) {
 // tokens are absorbed into memory, with the owner token set clean on
 // arrival (Rule #1).
 func (n *Node) homeTokens(now event.Time, m *msg.Message) {
+	n.Env.Net.Retain(m)
 	n.Env.Eng.After(event.Time(n.dir.LookupLatency), func(now event.Time) {
+		defer n.Env.Net.Release(m)
 		e := n.dir.Entry(m.Addr)
 		if m.Type != msg.TokenReturn {
 			// A full eviction: the evictor keeps nothing.
@@ -61,10 +68,10 @@ func (n *Node) homeTokens(now event.Time, m *msg.Message) {
 // owner token is joined with data fetched from memory (the requester
 // needs the block; a dirty owner already travels with data by Rule #4).
 func (n *Node) redirect(e *directory.Entry, m *msg.Message) {
-	out := &msg.Message{
+	out := n.Msg(msg.Message{
 		Type: msg.Redirect, Addr: e.Addr, Dst: e.Active, Requester: e.Active,
 		Activated: true, Seq: e.ActiveSeq,
-	}
+	})
 	withData := m.HasData
 	out.Version = m.Version
 	delay := event.Time(0)
@@ -154,7 +161,7 @@ func (n *Node) homeActivate(now event.Time, e *directory.Entry, m *msg.Message) 
 	// owners retain shared copies.
 	if !e.Tok.Zero() {
 		if e.Tok.Owner {
-			grant := &msg.Message{Type: msg.Data, Addr: e.Addr, Dst: r, Requester: r, Activated: true, Seq: e.ActiveSeq, Version: e.MemVersion}
+			grant := n.Msg(msg.Message{Type: msg.Data, Addr: e.Addr, Dst: r, Requester: r, Activated: true, Seq: e.ActiveSeq, Version: e.MemVersion})
 			if m.IsWrite || (e.Sharers.Count() == 0 && e.Owner == directory.HomeOwner) {
 				tokens, owner, _ := e.Tok.TakeAll()
 				token.Attach(grant, tokens, owner, false, true)
@@ -167,7 +174,7 @@ func (n *Node) homeActivate(now event.Time, e *directory.Entry, m *msg.Message) 
 			actCarrier = true
 		} else if m.IsWrite {
 			tokens, _, _ := e.Tok.TakeAll()
-			grant := &msg.Message{Type: msg.Ack, Addr: e.Addr, Dst: r, Requester: r, Activated: true, Seq: e.ActiveSeq}
+			grant := n.Msg(msg.Message{Type: msg.Ack, Addr: e.Addr, Dst: r, Requester: r, Activated: true, Seq: e.ActiveSeq})
 			token.Attach(grant, tokens, false, false, false)
 			n.Send(grant)
 			actCarrier = true
@@ -177,7 +184,7 @@ func (n *Node) homeActivate(now event.Time, e *directory.Entry, m *msg.Message) 
 			// dropping to I.
 			spare := e.Tok.TakeNonOwner(1)
 			if spare > 0 {
-				grant := &msg.Message{Type: msg.Ack, Addr: e.Addr, Dst: r, Requester: r, Activated: true, Seq: e.ActiveSeq}
+				grant := n.Msg(msg.Message{Type: msg.Ack, Addr: e.Addr, Dst: r, Requester: r, Activated: true, Seq: e.ActiveSeq})
 				token.Attach(grant, spare, false, false, false)
 				n.Send(grant)
 				actCarrier = true
@@ -187,10 +194,10 @@ func (n *Node) homeActivate(now event.Time, e *directory.Entry, m *msg.Message) 
 
 	// Forward to the owner (always answered, so it carries the bit).
 	if e.Owner != directory.HomeOwner && e.Owner != r {
-		n.Send(&msg.Message{
+		n.Send(n.Msg(msg.Message{
 			Type: msg.Fwd, Addr: e.Addr, Dst: e.Owner, Requester: r,
 			ToOwner: true, IsWrite: m.IsWrite, Migratory: migratory, Activated: true, Seq: e.ActiveSeq,
-		})
+		}))
 		actCarrier = true
 	}
 
@@ -198,14 +205,14 @@ func (n *Node) homeActivate(now event.Time, e *directory.Entry, m *msg.Message) 
 	// Only token holders answer: ack elision (§7).
 	if m.IsWrite {
 		if targets := invalidationTargets(e, r); len(targets) > 0 {
-			n.Multicast(&msg.Message{
+			n.Multicast(n.Msg(msg.Message{
 				Type: msg.Fwd, Addr: e.Addr, Requester: r, IsWrite: true, Activated: true, Seq: e.ActiveSeq,
-			}, targets)
+			}), targets)
 		}
 	}
 
 	if !actCarrier {
-		n.Send(&msg.Message{Type: msg.Activation, Addr: e.Addr, Dst: r, Requester: r, Activated: true, Seq: e.ActiveSeq})
+		n.Send(n.Msg(msg.Message{Type: msg.Activation, Addr: e.Addr, Dst: r, Requester: r, Activated: true, Seq: e.ActiveSeq}))
 	}
 }
 
@@ -251,6 +258,6 @@ func (n *Node) homeDeactivate(now event.Time, m *msg.Message) {
 	if len(e.Queue) > 0 {
 		p := e.Queue[0]
 		e.Queue = e.Queue[1:]
-		n.homeActivate(now, e, p.Transient)
+		n.homeActivate(now, e, &p.Transient)
 	}
 }

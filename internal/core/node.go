@@ -71,7 +71,14 @@ type mshr struct {
 	done       []func()
 	waiters    []waiter
 	timer      event.Handle
+
+	// n backs the Fire method: the armed mshr doubles as the tenure
+	// timer's event.Task, so re-arming allocates no closure.
+	n *Node
 }
+
+// Fire implements event.Task: the token-tenure probation expired.
+func (m *mshr) Fire(now event.Time) { m.n.tenureTimeout(now, m) }
 
 // Node is one core's PATCH controller plus its home-directory slice.
 type Node struct {
@@ -157,7 +164,7 @@ func (n *Node) Access(addr msg.Addr, isWrite bool, done func()) {
 			n.St.L2Hits++
 			n.TouchL1(addr)
 		}
-		n.Env.Eng.After(n.HitLatency(lvl), func(event.Time) { done() })
+		n.Env.Eng.After0(n.HitLatency(lvl), done)
 		return
 	}
 	if m := n.mshrs[addr]; m != nil {
@@ -169,7 +176,7 @@ func (n *Node) Access(addr msg.Addr, isWrite bool, done func()) {
 		n.St.UpgradeMisses++
 	}
 	n.seq++
-	m := &mshr{addr: addr, seq: n.seq, isWrite: isWrite, issued: n.Env.Eng.Now()}
+	m := &mshr{addr: addr, seq: n.seq, isWrite: isWrite, issued: n.Env.Eng.Now(), n: n}
 	m.done = append(m.done, done)
 	n.mshrs[addr] = m
 
@@ -178,7 +185,7 @@ func (n *Node) Access(addr msg.Addr, isWrite bool, done func()) {
 	if isWrite {
 		t = msg.GetM
 	}
-	n.Send(&msg.Message{Type: t, Addr: addr, Dst: n.Env.HomeOf(addr), Requester: n.ID, IsWrite: isWrite, Seq: m.seq})
+	n.Send(n.Msg(msg.Message{Type: t, Addr: addr, Dst: n.Env.HomeOf(addr), Requester: n.ID, IsWrite: isWrite, Seq: m.seq}))
 
 	// Predictive direct requests: pure performance hints.
 	if dsts := n.pred.Predict(addr); len(dsts) > 0 {
@@ -186,10 +193,10 @@ func (n *Node) Access(addr msg.Addr, isWrite bool, done func()) {
 		if isWrite {
 			dt = msg.DirectGetM
 		}
-		n.Multicast(&msg.Message{
+		n.Multicast(n.Msg(msg.Message{
 			Type: dt, Addr: addr, Requester: n.ID, IsWrite: isWrite,
 			BestEffort: n.cfg.BestEffort,
-		}, dsts)
+		}), dsts)
 	}
 
 	// Arm the token-tenure probationary timer (Rule #4).
@@ -219,7 +226,7 @@ func (n *Node) tenurePeriod() event.Time {
 
 func (n *Node) armTenureTimer(m *mshr) {
 	m.timer.Cancel()
-	m.timer = n.Env.Eng.After(n.tenurePeriod(), func(now event.Time) { n.tenureTimeout(now, m) })
+	m.timer = n.Env.Eng.AfterTask(n.tenurePeriod(), m)
 }
 
 // tenureTimeout fires when the probationary period expires without an
@@ -241,10 +248,10 @@ func (n *Node) tenureTimeout(now event.Time, m *mshr) {
 // returnTokensHome sends a line's entire holding back to the home.
 func (n *Node) returnTokensHome(line *cache.Line) {
 	tokens, owner, dirty := line.Tok.TakeAll()
-	ret := &msg.Message{
+	ret := n.Msg(msg.Message{
 		Type: msg.TokenReturn, Addr: line.Addr, Dst: n.Env.HomeOf(line.Addr), Requester: n.ID,
 		Version: line.Version,
-	}
+	})
 	token.Attach(ret, tokens, owner, dirty, dirty) // Rule #4: dirty owner travels with data
 	line.Untenured = false
 	line.MOESI = token.I
@@ -378,10 +385,10 @@ func (n *Node) retire(now event.Time, ms *mshr) {
 	if !n.cfg.NoDeactWindow {
 		n.ignoreDirectUntil[ms.addr] = now + n.tenurePeriod()
 	}
-	n.Send(&msg.Message{
+	n.Send(n.Msg(msg.Message{
 		Type: msg.Deactivate, Addr: ms.addr, Dst: n.Env.HomeOf(ms.addr),
 		Requester: n.ID, Seq: ms.seq, Migratory: ms.migratory,
-	})
+	}))
 	for _, w := range ms.waiters {
 		w := w
 		n.Env.Eng.After(1, func(event.Time) { n.Access(ms.addr, w.isWrite, w.done) })
@@ -433,7 +440,7 @@ func (n *Node) evict(l *cache.Line) {
 	} else {
 		n.St.WritebacksClean++
 	}
-	wb := &msg.Message{Type: t, Addr: l.Addr, Dst: n.Env.HomeOf(l.Addr), Requester: n.ID, Version: l.Version}
+	wb := n.Msg(msg.Message{Type: t, Addr: l.Addr, Dst: n.Env.HomeOf(l.Addr), Requester: n.ID, Version: l.Version})
 	token.Attach(wb, tokens, owner, dirty, dirty)
 	n.Send(wb)
 }
@@ -486,10 +493,10 @@ func (n *Node) respondToRequest(line *cache.Line, m *msg.Message, fwd bool) {
 	hasTokens := line != nil && !line.Tok.Zero()
 	hasOwner := hasTokens && line.Tok.Owner
 
-	resp := &msg.Message{
+	resp := n.Msg(msg.Message{
 		Addr: m.Addr, Dst: m.Requester, Requester: m.Requester,
 		Activated: fwd && m.Activated, Seq: m.Seq,
-	}
+	})
 	if line != nil {
 		resp.Version = line.Version
 	}
@@ -550,7 +557,9 @@ func (n *Node) respondToRequest(line *cache.Line, m *msg.Message, fwd bool) {
 	default:
 		// Zero-token sharer: ack elision — send nothing. This is the
 		// property that lets PATCH out-scale DIRECTORY with inexact
-		// sharer encodings (§7).
+		// sharer encodings (§7). The elided response goes straight back
+		// to the pool.
+		n.Env.Net.Release(resp)
 		return
 	}
 	n.Send(resp)

@@ -8,6 +8,7 @@ package directory
 import (
 	"fmt"
 
+	"patch/internal/addrmap"
 	"patch/internal/msg"
 	"patch/internal/token"
 )
@@ -134,11 +135,16 @@ func (s *SharerSet) Count() int {
 
 // Pending is a queued request waiting for the block to become idle.
 type Pending struct {
-	Req       msg.NodeID
-	IsWrite   bool
-	Upgrade   bool
-	QueuedAt  uint64
-	Transient *msg.Message // original message, kept for protocol-specific fields
+	Req      msg.NodeID
+	IsWrite  bool
+	Upgrade  bool
+	QueuedAt uint64
+
+	// Transient is a by-value copy of the original message, kept for
+	// protocol-specific fields. Copying (rather than retaining the
+	// pointer) lets the interconnect recycle the delivered message the
+	// moment the handler returns.
+	Transient msg.Message
 }
 
 // Entry is the per-block directory state.
@@ -189,12 +195,24 @@ type Entry struct {
 	MemVersion uint64
 }
 
-// Directory holds the entries homed at one node.
+// entrySlabSize is the arena chunk size: entries are allocated in
+// batches so first-touch of a block does not hit the allocator per
+// entry, and entries of one home stay contiguous in memory.
+const entrySlabSize = 64
+
+// Directory holds the entries homed at one node. Entries live in an
+// open-addressed table (see internal/addrmap) backed by a slab arena,
+// so the per-request entry lookup is a couple of array probes rather
+// than a runtime map access, and iteration is deterministic
+// (insertion-ordered) rather than randomised.
 type Directory struct {
 	Home    msg.NodeID
 	Enc     Encoding
 	Tokens  int // total tokens per block (PATCH/TokenB); 0 for DIRECTORY
-	entries map[msg.Addr]*Entry
+	entries addrmap.Map[*Entry]
+
+	slab     []Entry
+	slabUsed int
 
 	// LookupLatency is the directory access latency (16 cycles in the
 	// paper); DRAMLatency the memory lookup (80 cycles).
@@ -208,18 +226,29 @@ func New(home msg.NodeID, enc Encoding, tokens int) *Directory {
 		Home:          home,
 		Enc:           enc,
 		Tokens:        tokens,
-		entries:       make(map[msg.Addr]*Entry),
 		LookupLatency: 16,
 		DRAMLatency:   80,
 	}
 }
 
+// alloc carves one entry out of the slab arena.
+func (d *Directory) alloc() *Entry {
+	if d.slabUsed == len(d.slab) {
+		d.slab = make([]Entry, entrySlabSize)
+		d.slabUsed = 0
+	}
+	e := &d.slab[d.slabUsed]
+	d.slabUsed++
+	return e
+}
+
 // Entry returns the entry for addr, creating the initial "all tokens at
 // home, memory owns, no sharers" state on first touch.
 func (d *Directory) Entry(addr msg.Addr) *Entry {
-	e := d.entries[addr]
-	if e == nil {
-		e = &Entry{
+	p := d.entries.Ptr(addr)
+	if *p == nil {
+		e := d.alloc()
+		*e = Entry{
 			Addr:         addr,
 			Owner:        HomeOwner,
 			Sharers:      NewSharerSet(d.Enc),
@@ -228,29 +257,32 @@ func (d *Directory) Entry(addr msg.Addr) *Entry {
 		if d.Tokens > 0 {
 			e.Tok = token.State{Count: d.Tokens, Owner: true, Dirty: false, Valid: true}
 		}
-		d.entries[addr] = e
+		*p = e
 	}
-	return e
+	return *p
 }
 
 // Peek returns the entry if it exists, without creating one.
-func (d *Directory) Peek(addr msg.Addr) *Entry { return d.entries[addr] }
+func (d *Directory) Peek(addr msg.Addr) *Entry {
+	e, _ := d.entries.Get(addr)
+	return e
+}
 
 // TokenHoldings implements token.Holder for conservation checks.
 func (d *Directory) TokenHoldings(fn func(addr msg.Addr, count int, owner bool)) {
-	for a, e := range d.entries {
-		if !e.Tok.Zero() {
-			fn(a, e.Tok.Count, e.Tok.Owner)
+	d.entries.ForEach(func(a msg.Addr, e **Entry) {
+		if !(*e).Tok.Zero() {
+			fn(a, (*e).Tok.Count, (*e).Tok.Owner)
 		}
-	}
+	})
 }
 
-// ForEach visits every entry.
+// ForEach visits every entry in first-touch order.
 func (d *Directory) ForEach(fn func(e *Entry)) {
-	for _, e := range d.entries {
-		fn(e)
-	}
+	d.entries.ForEach(func(_ msg.Addr, e **Entry) {
+		fn(*e)
+	})
 }
 
 // Len returns the number of touched blocks homed here.
-func (d *Directory) Len() int { return len(d.entries) }
+func (d *Directory) Len() int { return d.entries.Len() }

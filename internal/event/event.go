@@ -4,9 +4,13 @@
 // (time, sequence). Two events scheduled for the same cycle fire in the
 // order they were scheduled, which makes whole-system simulations
 // reproducible for a given seed.
+//
+// The engine recycles its event slots through an internal free-list, so
+// steady-state scheduling performs no allocation: a slot is returned to
+// the free-list the moment its event fires or is cancelled. Handles are
+// generation-checked — a stale Handle kept across a slot's recycling can
+// neither cancel nor observe the slot's new occupant.
 package event
-
-import "container/heap"
 
 // Time is the simulated clock, in cycles.
 type Time uint64
@@ -14,60 +18,61 @@ type Time uint64
 // Func is a callback fired when an event's time is reached.
 type Func func(now Time)
 
-type item struct {
-	at    Time
-	seq   uint64
-	fn    Func
-	index int
-	dead  bool
+// Task is the allocation-free alternative to Func for hot paths: a
+// scheduler that would otherwise allocate a fresh closure per event
+// implements Task on a pooled struct and passes it to AtTask, typically
+// rescheduling the same value as work progresses.
+type Task interface {
+	Fire(now Time)
 }
 
-// Handle identifies a scheduled event so that it can be cancelled.
-type Handle struct{ it *item }
+// item is one pooled event slot. The generation counter increments every
+// time the slot is released, invalidating outstanding Handles.
+type item struct {
+	fn   Func
+	fn0  func()
+	task Task
+	gen  uint32
+}
+
+// heapEntry is one element of the priority queue. Entries carry the
+// ordering key and the (slot, generation) pair; cancelled events leave a
+// stale entry behind, skipped lazily when it surfaces at the top.
+type heapEntry struct {
+	at  Time
+	seq uint64
+	idx int32
+	gen uint32
+}
+
+// Handle identifies a scheduled event so that it can be cancelled. The
+// zero Handle is valid and refers to nothing.
+type Handle struct {
+	eng *Engine
+	idx int32
+	gen uint32
+}
 
 // Cancel prevents the event from firing. Cancelling an already-fired or
-// already-cancelled event is a no-op.
+// already-cancelled event is a no-op. The event's slot is recycled
+// immediately.
 func (h Handle) Cancel() {
-	if h.it != nil {
-		h.it.dead = true
+	if h.eng == nil || h.eng.items[h.idx].gen != h.gen {
+		return
 	}
+	h.eng.freeItem(h.idx)
 }
 
 // Pending reports whether the event is still scheduled to fire.
-func (h Handle) Pending() bool { return h.it != nil && !h.it.dead && h.it.index >= 0 }
-
-type queue []*item
-
-func (q queue) Len() int { return len(q) }
-func (q queue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
-}
-func (q queue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-func (q *queue) Push(x any) {
-	it := x.(*item)
-	it.index = len(*q)
-	*q = append(*q, it)
-}
-func (q *queue) Pop() any {
-	old := *q
-	n := len(old)
-	it := old[n-1]
-	old[n-1] = nil
-	it.index = -1
-	*q = old[:n-1]
-	return it
+func (h Handle) Pending() bool {
+	return h.eng != nil && h.eng.items[h.idx].gen == h.gen
 }
 
 // Engine is a discrete-event simulator. The zero value is ready to use.
 type Engine struct {
-	q      queue
+	heap   []heapEntry
+	items  []item
+	free   []int32
 	now    Time
 	seq    uint64
 	fired  uint64
@@ -82,7 +87,7 @@ func (e *Engine) Fired() uint64 { return e.fired }
 
 // Len returns the number of events currently queued (including cancelled
 // events that have not yet been popped).
-func (e *Engine) Len() int { return len(e.q) }
+func (e *Engine) Len() int { return len(e.heap) }
 
 // MaxLen returns the high-water mark of the event queue.
 func (e *Engine) MaxLen() int { return e.maxLen }
@@ -90,32 +95,124 @@ func (e *Engine) MaxLen() int { return e.maxLen }
 // At schedules fn to run at absolute time t. Scheduling in the past
 // (t < Now) fires the event at the current time instead; the engine never
 // moves backwards.
-func (e *Engine) At(t Time, fn Func) Handle {
-	if t < e.now {
-		t = e.now
-	}
-	it := &item{at: t, seq: e.seq, fn: fn}
-	e.seq++
-	heap.Push(&e.q, it)
-	if len(e.q) > e.maxLen {
-		e.maxLen = len(e.q)
-	}
-	return Handle{it}
-}
+func (e *Engine) At(t Time, fn Func) Handle { return e.schedule(t, fn, nil, nil) }
+
+// AtTask schedules task to run at absolute time t, without allocating:
+// the caller owns the Task value and may reschedule it once it has fired.
+func (e *Engine) AtTask(t Time, task Task) Handle { return e.schedule(t, nil, nil, task) }
 
 // After schedules fn to run d cycles from now.
 func (e *Engine) After(d Time, fn Func) Handle { return e.At(e.now+d, fn) }
 
+// After0 schedules fn, which takes no arguments, d cycles from now.
+// Passing an existing func() value directly avoids the adapter closure
+// that After(d, func(Time) { fn() }) would allocate.
+func (e *Engine) After0(d Time, fn func()) Handle { return e.schedule(e.now+d, nil, fn, nil) }
+
+// AfterTask schedules task to run d cycles from now.
+func (e *Engine) AfterTask(d Time, task Task) Handle { return e.AtTask(e.now+d, task) }
+
+func (e *Engine) schedule(t Time, fn Func, fn0 func(), task Task) Handle {
+	if t < e.now {
+		t = e.now
+	}
+	var idx int32
+	if n := len(e.free); n > 0 {
+		idx = e.free[n-1]
+		e.free = e.free[:n-1]
+	} else {
+		e.items = append(e.items, item{})
+		idx = int32(len(e.items) - 1)
+	}
+	it := &e.items[idx]
+	it.fn = fn
+	it.fn0 = fn0
+	it.task = task
+	e.push(heapEntry{at: t, seq: e.seq, idx: idx, gen: it.gen})
+	e.seq++
+	if len(e.heap) > e.maxLen {
+		e.maxLen = len(e.heap)
+	}
+	return Handle{eng: e, idx: idx, gen: it.gen}
+}
+
+// freeItem releases a slot back to the free-list, invalidating handles
+// (and any stale heap entry) via the generation bump.
+func (e *Engine) freeItem(idx int32) {
+	it := &e.items[idx]
+	it.gen++
+	it.fn = nil
+	it.fn0 = nil
+	it.task = nil
+	e.free = append(e.free, idx)
+}
+
+// less orders entries by (time, sequence); seq is unique, so this is a
+// total order and the pop sequence is independent of heap layout.
+func less(a, b heapEntry) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (e *Engine) push(en heapEntry) {
+	e.heap = append(e.heap, en)
+	i := len(e.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !less(e.heap[i], e.heap[parent]) {
+			break
+		}
+		e.heap[i], e.heap[parent] = e.heap[parent], e.heap[i]
+		i = parent
+	}
+}
+
+// popTop removes the minimum entry.
+func (e *Engine) popTop() {
+	n := len(e.heap) - 1
+	e.heap[0] = e.heap[n]
+	e.heap = e.heap[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		if l >= n {
+			break
+		}
+		c := l
+		if r < n && less(e.heap[r], e.heap[l]) {
+			c = r
+		}
+		if !less(e.heap[c], e.heap[i]) {
+			break
+		}
+		e.heap[i], e.heap[c] = e.heap[c], e.heap[i]
+		i = c
+	}
+}
+
 // Step fires the next event. It returns false when the queue is empty.
 func (e *Engine) Step() bool {
-	for len(e.q) > 0 {
-		it := heap.Pop(&e.q).(*item)
-		if it.dead {
-			continue
+	for len(e.heap) > 0 {
+		top := e.heap[0]
+		e.popTop()
+		it := &e.items[top.idx]
+		if it.gen != top.gen {
+			continue // cancelled; slot already recycled
 		}
-		e.now = it.at
+		fn, fn0, task := it.fn, it.fn0, it.task
+		e.freeItem(top.idx)
+		e.now = top.at
 		e.fired++
-		it.fn(e.now)
+		switch {
+		case fn != nil:
+			fn(e.now)
+		case fn0 != nil:
+			fn0()
+		default:
+			task.Fire(e.now)
+		}
 		return true
 	}
 	return false
@@ -141,14 +238,13 @@ func (e *Engine) Run(limit uint64) uint64 {
 // the deadline remain queued; the clock advances to the deadline if any
 // work was pending beyond it.
 func (e *Engine) RunUntil(deadline Time) {
-	for len(e.q) > 0 {
-		// Peek.
-		it := e.q[0]
-		if it.dead {
-			heap.Pop(&e.q)
+	for len(e.heap) > 0 {
+		top := e.heap[0]
+		if e.items[top.idx].gen != top.gen {
+			e.popTop() // stale entry of a cancelled event
 			continue
 		}
-		if it.at > deadline {
+		if top.at > deadline {
 			break
 		}
 		e.Step()

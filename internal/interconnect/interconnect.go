@@ -17,6 +17,13 @@
 // traffic sees both horizons but advances only its own: best-effort
 // direct requests consume only leftover bandwidth and never delay other
 // messages (§6).
+//
+// Hot path. The network performs no steady-state allocation: link
+// horizons are dense slices indexed by topology.LinkIndex, dimension-
+// order routes are computed once per (src, dst) pair and cached, hop and
+// delivery events are pooled event.Tasks rather than closures, multicast
+// walks reuse scratch bitsets and child tables, and in-flight messages
+// come from a per-network msg.Pool released back after delivery.
 package interconnect
 
 import (
@@ -83,9 +90,18 @@ type Network struct {
 	eng   *event.Engine
 	nodes []Handler
 
-	// horizon[link] is the time the link becomes free for each class.
-	normalHorizon map[topology.Link]event.Time
-	beHorizon     map[topology.Link]event.Time
+	pool msg.Pool
+
+	// horizon[LinkIndex] is the time the link becomes free per class.
+	normalHorizon []event.Time
+	beHorizon     []event.Time
+
+	// routes caches dimension-order routes, indexed src*N+dst and filled
+	// lazily; a cached route is immutable and shared by every message.
+	routes [][]topology.Link
+
+	taskFree []*netTask
+	walkFree []*mcastWalk
 
 	// OnSend and OnDeliver are observability hooks (tracing, token
 	// auditing); nil disables them. OnSend fires once per logical message
@@ -98,13 +114,15 @@ type Network struct {
 
 // New creates a network over n nodes.
 func New(eng *event.Engine, n int, cfg Config) *Network {
+	topo := topology.New(n)
 	return &Network{
 		cfg:           cfg,
-		topo:          topology.New(n),
+		topo:          topo,
 		eng:           eng,
 		nodes:         make([]Handler, n),
-		normalHorizon: make(map[topology.Link]event.Time),
-		beHorizon:     make(map[topology.Link]event.Time),
+		normalHorizon: make([]event.Time, topo.NumLinks()),
+		beHorizon:     make([]event.Time, topo.NumLinks()),
+		routes:        make([][]topology.Link, n*n),
 	}
 }
 
@@ -114,6 +132,31 @@ func (n *Network) Topology() topology.Torus { return n.topo }
 // Register installs the message handler for a node. Every node must be
 // registered before traffic is sent to it.
 func (n *Network) Register(id msg.NodeID, h Handler) { n.nodes[id] = h }
+
+// NewMessage acquires a pooled message initialised to v. The reference
+// is consumed by Send/Multicast; the network releases it after delivery.
+// A receiving handler that keeps the message beyond its own return must
+// Retain it (or copy it by value) and Release it when done.
+func (n *Network) NewMessage(v msg.Message) *msg.Message { return n.pool.New(v) }
+
+// Retain adds a reference to a pooled message (no-op for messages built
+// outside the pool).
+func (n *Network) Retain(m *msg.Message) { n.pool.Retain(m) }
+
+// Release drops a reference to a pooled message (no-op for messages
+// built outside the pool).
+func (n *Network) Release(m *msg.Message) { n.pool.Release(m) }
+
+// route returns the cached dimension-order route from src to dst.
+func (n *Network) route(src, dst int) []topology.Link {
+	i := src*len(n.nodes) + dst
+	r := n.routes[i]
+	if r == nil {
+		r = n.topo.Route(src, dst)
+		n.routes[i] = r
+	}
+	return r
+}
 
 // serialization returns the cycles a message occupies a link.
 func (n *Network) serialization(bytes int) event.Time {
@@ -131,28 +174,29 @@ func (n *Network) traverse(l topology.Link, now event.Time, ser event.Time, best
 	if n.cfg.Unbounded {
 		return now + event.Time(n.cfg.HopLatency), true
 	}
+	li := n.topo.LinkIndex(l)
 	if bestEffort {
 		start := now
-		if h := n.normalHorizon[l]; h > start {
+		if h := n.normalHorizon[li]; h > start {
 			start = h
 		}
-		if h := n.beHorizon[l]; h > start {
+		if h := n.beHorizon[li]; h > start {
 			start = h
 		}
 		if n.cfg.DropAfter > 0 && start > now+event.Time(n.cfg.DropAfter) {
 			return 0, false
 		}
 		depart := start + ser
-		n.beHorizon[l] = depart
+		n.beHorizon[li] = depart
 		return depart + event.Time(n.cfg.HopLatency), true
 	}
 	start := now
-	if h := n.normalHorizon[l]; h > start {
+	if h := n.normalHorizon[li]; h > start {
 		start = h
 	}
 	n.Stats.QueueCycles += uint64(start - now)
 	depart := start + ser
-	n.normalHorizon[l] = depart
+	n.normalHorizon[li] = depart
 	return depart + event.Time(n.cfg.HopLatency), true
 }
 
@@ -171,25 +215,77 @@ func (n *Network) accountBytes(m *msg.Message, links int) {
 	n.Stats.LinkBytes += b
 }
 
-// deliver schedules the handler invocation.
-func (n *Network) deliver(at event.Time, m *msg.Message) {
-	h := n.nodes[m.Dst]
-	if h == nil {
-		panic("interconnect: message to unregistered node")
+// netTask is a pooled event.Task covering the network's three event
+// kinds, so the hot path schedules no closures: a unicast in flight
+// reuses one hop task across all its links, then one delivery task.
+type netTask struct {
+	net   *Network
+	kind  uint8
+	m     *msg.Message
+	route []topology.Link
+	idx   int
+	ser   event.Time
+	walk  *mcastWalk
+	node  int
+}
+
+const (
+	taskHop = iota
+	taskDeliver
+	taskFanout
+)
+
+func (n *Network) newTask() *netTask {
+	if l := len(n.taskFree); l > 0 {
+		t := n.taskFree[l-1]
+		n.taskFree = n.taskFree[:l-1]
+		return t
 	}
-	n.Stats.Delivered++
-	n.eng.At(at, func(now event.Time) {
+	return &netTask{net: n}
+}
+
+func (n *Network) freeTask(t *netTask) {
+	t.m = nil
+	t.route = nil
+	t.walk = nil
+	n.taskFree = append(n.taskFree, t)
+}
+
+// Fire implements event.Task.
+func (t *netTask) Fire(now event.Time) {
+	n := t.net
+	switch t.kind {
+	case taskHop:
+		n.fireHop(t, now)
+	case taskDeliver:
+		m := t.m
+		n.freeTask(t)
 		if n.OnDeliver != nil {
 			n.OnDeliver(now, m)
 		}
-		h(now, m)
-	})
+		n.nodes[m.Dst](now, m)
+		n.pool.Release(m)
+	case taskFanout:
+		n.fireFanout(t, now)
+	}
+}
+
+// deliver schedules the handler invocation at time at.
+func (n *Network) deliver(at event.Time, m *msg.Message) {
+	if n.nodes[m.Dst] == nil {
+		panic("interconnect: message to unregistered node")
+	}
+	n.Stats.Delivered++
+	t := n.newTask()
+	t.kind = taskDeliver
+	t.m = m
+	n.eng.AtTask(at, t)
 }
 
 // Send transmits a unicast message from m.Src to m.Dst, modelling route
 // latency and per-link contention hop by hop. Local (Src == Dst)
 // messages are delivered after one cycle without consuming link
-// bandwidth.
+// bandwidth. Send consumes the caller's reference to a pooled message.
 func (n *Network) Send(m *msg.Message) {
 	if n.OnSend != nil {
 		n.OnSend(n.eng.Now(), m)
@@ -206,116 +302,211 @@ func (n *Network) sendRouted(m *msg.Message) {
 		n.deliver(now+1, m)
 		return
 	}
-	route := n.topo.Route(int(m.Src), int(m.Dst))
+	route := n.route(int(m.Src), int(m.Dst))
 	if n.cfg.Unbounded {
 		n.account(m, len(route))
 		n.deliver(now+event.Time(n.cfg.RouteOverhead+n.cfg.HopLatency*len(route)), m)
 		return
 	}
-	ser := n.serialization(m.Bytes())
-	n.hop(m, route, 0, now+event.Time(n.cfg.RouteOverhead), ser)
+	t := n.newTask()
+	t.kind = taskHop
+	t.m = m
+	t.route = route
+	t.idx = 0
+	t.ser = n.serialization(m.Bytes())
+	n.eng.AtTask(now+event.Time(n.cfg.RouteOverhead), t)
 }
 
-// hop schedules the traversal of route[idx] when the message arrives at
-// its near side.
-func (n *Network) hop(m *msg.Message, route []topology.Link, idx int, arrive event.Time, ser event.Time) {
-	if idx == len(route) {
-		n.account(m, len(route))
-		n.deliver(arrive, m)
+// fireHop traverses route[idx] now that the message has arrived at its
+// near side, rescheduling the same task for the next switch arrival.
+func (n *Network) fireHop(t *netTask, now event.Time) {
+	next, ok := n.traverse(t.route[t.idx], now, t.ser, t.m.BestEffort)
+	if !ok {
+		n.Stats.Dropped++
+		n.pool.Release(t.m)
+		n.freeTask(t)
 		return
 	}
-	n.eng.At(arrive, func(now event.Time) {
-		next, ok := n.traverse(route[idx], now, ser, m.BestEffort)
-		if !ok {
-			n.Stats.Dropped++
-			return
+	t.idx++
+	if t.idx == len(t.route) {
+		m := t.m
+		n.account(m, len(t.route))
+		n.freeTask(t)
+		n.deliver(next, m)
+		return
+	}
+	n.eng.AtTask(next, t)
+}
+
+// mcastWalk is the pooled per-multicast state: the fan-out tree as a
+// per-node child table, the destination set and deduplicated tree links
+// as scratch bitsets, and a reference count of outstanding fan-out
+// events. The walk owns one reference to the multicast's master message
+// until the last fan-out event has fired.
+type mcastWalk struct {
+	m           *msg.Message
+	ser         event.Time
+	children    [][]topology.Link
+	touched     []int32  // nodes with non-empty child lists, for O(tree) reset
+	want        []uint64 // destination-node bitset
+	seen        []uint64 // tree-link bitset over topology.LinkIndex
+	outstanding int
+}
+
+func (w *mcastWalk) setWant(node int)       { w.want[node/64] |= 1 << (node % 64) }
+func (w *mcastWalk) isWanted(node int) bool { return w.want[node/64]&(1<<(node%64)) != 0 }
+
+func (n *Network) newWalk(m *msg.Message, ser event.Time) *mcastWalk {
+	var w *mcastWalk
+	if l := len(n.walkFree); l > 0 {
+		w = n.walkFree[l-1]
+		n.walkFree = n.walkFree[:l-1]
+	} else {
+		nodes := len(n.nodes)
+		w = &mcastWalk{
+			children: make([][]topology.Link, nodes),
+			want:     make([]uint64, (nodes+63)/64),
+			seen:     make([]uint64, (n.topo.NumLinks()+63)/64),
 		}
-		n.hop(m, route, idx+1, next, ser)
-	})
+	}
+	w.m = m
+	w.ser = ser
+	w.outstanding = 1 // the builder's reference, dropped by walkDone
+	return w
+}
+
+// walkDone drops one reference to the walk; the last reference releases
+// the master message and returns the scratch state to the pool.
+func (n *Network) walkDone(w *mcastWalk) {
+	if w.outstanding--; w.outstanding > 0 {
+		return
+	}
+	n.pool.Release(w.m)
+	for _, node := range w.touched {
+		w.children[node] = w.children[node][:0]
+	}
+	w.touched = w.touched[:0]
+	for i := range w.want {
+		w.want[i] = 0
+	}
+	for i := range w.seen {
+		w.seen[i] = 0
+	}
+	w.m = nil
+	n.walkFree = append(n.walkFree, w)
+}
+
+// buildTree unions the cached dimension-order routes from src to every
+// destination, deduplicated so each tree link appears once — the same
+// tree topology.MulticastTree computes, built without maps.
+func (n *Network) buildTree(w *mcastWalk, src int, dsts []msg.NodeID) {
+	for _, d := range dsts {
+		if int(d) == src {
+			continue
+		}
+		for _, l := range n.route(src, int(d)) {
+			li := n.topo.LinkIndex(l)
+			if w.seen[li/64]&(1<<(li%64)) != 0 {
+				continue
+			}
+			w.seen[li/64] |= 1 << (li % 64)
+			if len(w.children[l.From]) == 0 {
+				w.touched = append(w.touched, int32(l.From))
+			}
+			w.children[l.From] = append(w.children[l.From], l)
+		}
+	}
 }
 
 // Multicast transmits copies of m to every destination in dsts using a
 // fan-out multicast tree: each tree link is charged once. Per-destination
 // copies of the message are created with Dst set. Best-effort multicasts
 // prune any subtree whose entry link is congested past the drop
-// threshold.
+// threshold. Multicast consumes the caller's reference to a pooled m.
 func (n *Network) Multicast(m *msg.Message, dsts []msg.NodeID) {
 	if len(dsts) == 0 {
+		n.pool.Release(m)
 		return
 	}
 	if n.OnSend != nil {
 		n.OnSend(n.eng.Now(), m)
 	}
 	if len(dsts) == 1 {
-		c := *m
+		c := n.pool.New(*m)
 		c.Dst = dsts[0]
-		n.sendRouted(&c)
+		n.sendRouted(c)
+		n.pool.Release(m)
 		return
 	}
 	now := n.eng.Now()
-	want := make(map[int]bool, len(dsts))
+	ser := n.serialization(m.Bytes())
+	w := n.newWalk(m, ser)
 	for _, d := range dsts {
 		if d == m.Src {
-			c := *m
+			c := n.pool.New(*m)
 			c.Dst = d
-			n.account(&c, 0)
-			n.deliver(now+1, &c)
+			n.account(c, 0)
+			n.deliver(now+1, c)
 			continue
 		}
-		want[int(d)] = true
+		w.setWant(int(d))
 	}
-	tree := n.topo.MulticastTree(int(m.Src), intIDs(dsts))
-	ser := n.serialization(m.Bytes())
+	n.buildTree(w, int(m.Src), dsts)
 	n.Stats.MsgsByClass[m.TrafficClass()]++
-	n.walkTree(m, tree, want, int(m.Src), now+event.Time(n.cfg.RouteOverhead), ser)
+	n.walkFrom(w, int(m.Src), now+event.Time(n.cfg.RouteOverhead))
+	n.walkDone(w)
 }
 
-// walkTree propagates a multicast copy through the fan-out tree, one
-// event per switch arrival, charging each tree link once.
-func (n *Network) walkTree(m *msg.Message, tree map[int][]topology.Link, want map[int]bool, node int, arrive event.Time, ser event.Time) {
-	children := tree[node]
-	if len(children) == 0 {
+// walkFrom propagates the multicast from node: one pooled fan-out event
+// per switch arrival under contention, synchronous recursion when links
+// are unbounded.
+func (n *Network) walkFrom(w *mcastWalk, node int, arrive event.Time) {
+	if len(w.children[node]) == 0 {
 		return
-	}
-	fanOut := func(now event.Time) {
-		for _, l := range children {
-			t, ok := n.traverse(l, now, ser, m.BestEffort)
-			if !ok {
-				n.Stats.Dropped++ // whole subtree dropped
-				continue
-			}
-			n.accountBytes(m, 1)
-			if want[l.To] {
-				c := *m
-				c.Dst = msg.NodeID(l.To)
-				n.deliver(t, &c)
-			}
-			n.walkTree(m, tree, want, l.To, t, ser)
-		}
 	}
 	if n.cfg.Unbounded {
 		// No contention state to serialise on: propagate directly.
-		for _, l := range children {
+		for _, l := range w.children[node] {
 			t := arrive + event.Time(n.cfg.HopLatency)
-			n.accountBytes(m, 1)
-			if want[l.To] {
-				c := *m
+			n.accountBytes(w.m, 1)
+			if w.isWanted(l.To) {
+				c := n.pool.New(*w.m)
 				c.Dst = msg.NodeID(l.To)
-				n.deliver(t, &c)
+				n.deliver(t, c)
 			}
-			n.walkTree(m, tree, want, l.To, t, ser)
+			n.walkFrom(w, l.To, t)
 		}
 		return
 	}
-	n.eng.At(arrive, fanOut)
+	w.outstanding++
+	t := n.newTask()
+	t.kind = taskFanout
+	t.walk = w
+	t.node = node
+	n.eng.AtTask(arrive, t)
 }
 
-func intIDs(ids []msg.NodeID) []int {
-	out := make([]int, len(ids))
-	for i, id := range ids {
-		out[i] = int(id)
+// fireFanout crosses every child link of one tree node, delivering to
+// wanted destinations and scheduling the next level of the walk.
+func (n *Network) fireFanout(t *netTask, now event.Time) {
+	w := t.walk
+	node := t.node
+	n.freeTask(t)
+	for _, l := range w.children[node] {
+		arr, ok := n.traverse(l, now, w.ser, w.m.BestEffort)
+		if !ok {
+			n.Stats.Dropped++ // whole subtree dropped
+			continue
+		}
+		n.accountBytes(w.m, 1)
+		if w.isWanted(l.To) {
+			c := n.pool.New(*w.m)
+			c.Dst = msg.NodeID(l.To)
+			n.deliver(arr, c)
+		}
+		n.walkFrom(w, l.To, arr)
 	}
-	return out
+	n.walkDone(w)
 }
 
 // AvgDistance returns the mean hop count between distinct nodes, used to

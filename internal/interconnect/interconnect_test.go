@@ -13,16 +13,18 @@ func newNet(n int, cfg Config) (*event.Engine, *Network) {
 	return eng, net
 }
 
-// sink registers a recording handler for every node.
+// sink registers a recording handler for every node. Delivered messages
+// are recorded by value: the network recycles pooled messages once the
+// handler returns, so retaining the pointer would observe reuse.
 type sink struct {
-	got []*msg.Message
+	got []msg.Message
 	at  []event.Time
 }
 
 func (s *sink) register(net *Network, n int) {
 	for i := 0; i < n; i++ {
 		net.Register(msg.NodeID(i), func(now event.Time, m *msg.Message) {
-			s.got = append(s.got, m)
+			s.got = append(s.got, *m)
 			s.at = append(s.at, now)
 		})
 	}

@@ -170,6 +170,68 @@ type Message struct {
 
 	// Persistent marks TokenB persistent-request priority traffic.
 	Persistent bool
+
+	// refs is the Pool reference count: 0 for messages that did not come
+	// from a Pool (Retain/Release ignore them), otherwise the number of
+	// owners still using the message.
+	refs uint32
+}
+
+// Detached returns a by-value copy of m outside any Pool's lifecycle:
+// Retain and Release on the copy are no-ops. Use it when stashing a
+// delivered (pool-owned) message by value, so the copy can never leak
+// an interior pointer into a pool free-list.
+func (m *Message) Detached() Message {
+	c := *m
+	c.refs = 0
+	return c
+}
+
+// Pool is a free-list of Messages for a single simulation. The simulator
+// is single-threaded per run, so the pool needs no synchronisation and
+// recycling is deterministic. Messages built directly with &Message{...}
+// pass through Retain/Release untouched, which keeps hand-constructed
+// messages (tests, tools) safe without opting in.
+type Pool struct {
+	free []*Message
+}
+
+// New returns a pooled message initialised to v, with one reference held
+// by the caller. Ownership conventions in this simulator: sending a
+// message transfers the reference to the network, which releases it after
+// the destination's handler returns; a handler that needs the message
+// beyond its own return must Retain it (or copy it by value) and Release
+// it when done.
+func (p *Pool) New(v Message) *Message {
+	var m *Message
+	if n := len(p.free); n > 0 {
+		m = p.free[n-1]
+		p.free = p.free[:n-1]
+	} else {
+		m = new(Message)
+	}
+	*m = v
+	m.refs = 1
+	return m
+}
+
+// Retain adds a reference to a pooled message; a no-op for messages that
+// did not come from a Pool.
+func (p *Pool) Retain(m *Message) {
+	if m.refs > 0 {
+		m.refs++
+	}
+}
+
+// Release drops one reference; the message returns to the free-list when
+// the last reference is dropped. A no-op for unpooled messages.
+func (p *Pool) Release(m *Message) {
+	if m.refs == 0 {
+		return
+	}
+	if m.refs--; m.refs == 0 {
+		p.free = append(p.free, m)
+	}
 }
 
 // Bytes returns the size of the message on a link.

@@ -64,6 +64,12 @@ type Predictor struct {
 	n      int
 	table  []entry
 
+	// everyone caches the broadcast set and one the single-owner set, so
+	// Predict allocates nothing on the hot path. Callers must treat the
+	// returned slice as read-only and consume it before the next Predict.
+	everyone []msg.NodeID
+	one      [1]msg.NodeID
+
 	Predictions uint64
 	Broadcasts  uint64
 }
@@ -101,14 +107,16 @@ func (p *Predictor) Predict(a msg.Addr) []msg.NodeID {
 			return nil
 		}
 		p.Predictions++
-		return []msg.NodeID{e.lastOwner}
+		p.one[0] = e.lastOwner
+		return p.one[:]
 	case BroadcastIfShared:
 		e, tag := p.slot(a)
 		if !e.valid || e.tag != tag || !e.shared {
 			// Fall back to the owner prediction when not shared.
 			if e.valid && e.tag == tag && e.lastOwner != p.self {
 				p.Predictions++
-				return []msg.NodeID{e.lastOwner}
+				p.one[0] = e.lastOwner
+				return p.one[:]
 			}
 			return nil
 		}
@@ -120,13 +128,15 @@ func (p *Predictor) Predict(a msg.Addr) []msg.NodeID {
 }
 
 func (p *Predictor) everyoneElse() []msg.NodeID {
-	out := make([]msg.NodeID, 0, p.n-1)
-	for i := 0; i < p.n; i++ {
-		if msg.NodeID(i) != p.self {
-			out = append(out, msg.NodeID(i))
+	if p.everyone == nil {
+		p.everyone = make([]msg.NodeID, 0, p.n-1)
+		for i := 0; i < p.n; i++ {
+			if msg.NodeID(i) != p.self {
+				p.everyone = append(p.everyone, msg.NodeID(i))
+			}
 		}
 	}
-	return out
+	return p.everyone
 }
 
 // observe updates the macroblock entry for a remote interaction.

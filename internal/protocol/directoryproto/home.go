@@ -10,8 +10,13 @@ import (
 
 // homeReceive accepts requests and writebacks at the home node, applying
 // the directory lookup latency and the per-block blocking discipline.
+// The delivered message outlives the handler (it is consulted after the
+// lookup delay), so it is retained for the deferred step and released
+// there; requests that must wait in the entry queue are copied by value.
 func (n *Node) homeReceive(now event.Time, m *msg.Message) {
+	n.Env.Net.Retain(m)
 	n.Env.Eng.After(event.Time(n.dir.LookupLatency), func(now event.Time) {
+		defer n.Env.Net.Release(m)
 		e := n.dir.Entry(m.Addr)
 		switch m.Type {
 		case msg.PutM, msg.PutClean:
@@ -25,14 +30,14 @@ func (n *Node) homeReceive(now event.Time, m *msg.Message) {
 					resume()
 					return
 				}
-				e.Queue = append(e.Queue, directory.Pending{Req: m.Src, Transient: m})
+				e.Queue = append(e.Queue, directory.Pending{Req: m.Src, Transient: m.Detached()})
 				return
 			}
 			n.homeWriteback(e, m)
 		default:
 			if e.Busy {
 				e.Queue = append(e.Queue, directory.Pending{
-					Req: m.Requester, IsWrite: m.IsWrite, Upgrade: m.Type == msg.Upg, Transient: m,
+					Req: m.Requester, IsWrite: m.IsWrite, Upgrade: m.Type == msg.Upg, Transient: m.Detached(),
 				})
 				return
 			}
@@ -56,7 +61,7 @@ func (n *Node) homeWriteback(e *directory.Entry, m *msg.Message) {
 			e.Sharers.Remove(m.Src)
 		}
 	}
-	n.Send(&msg.Message{Type: msg.PutAck, Addr: m.Addr, Dst: m.Src, Requester: m.Src, Stale: stale})
+	n.Send(n.Msg(msg.Message{Type: msg.PutAck, Addr: m.Addr, Dst: m.Src, Requester: m.Src, Stale: stale}))
 }
 
 // homeActivate begins servicing one request: the block becomes busy and
@@ -66,9 +71,13 @@ func (n *Node) homeActivate(now event.Time, e *directory.Entry, m *msg.Message) 
 	e.Active = m.Requester
 	e.ActiveWrite = m.IsWrite
 
+	// service may run later (via e.Resume, after an awaited writeback
+	// lands), so it captures the request's fields rather than the pooled
+	// message itself.
 	r := m.Requester
+	reqType := m.Type
 	service := func() {
-		switch m.Type {
+		switch reqType {
 		case msg.GetS:
 			n.homeGetS(now, e, r)
 		case msg.GetM:
@@ -82,7 +91,7 @@ func (n *Node) homeActivate(now event.Time, e *directory.Entry, m *msg.Message) 
 				n.homeGetM(e, r)
 			}
 		default:
-			panic(fmt.Sprintf("directoryproto: home %d: cannot activate %v", n.ID, m))
+			panic(fmt.Sprintf("directoryproto: home %d: cannot activate %v from %d", n.ID, reqType, r))
 		}
 	}
 	// If the home still believes the requester owns the block (and this
@@ -90,8 +99,8 @@ func (n *Node) homeActivate(now event.Time, e *directory.Entry, m *msg.Message) 
 	// its writeback is in flight or already queued. Drain it first so the
 	// request can be serviced from memory.
 	if e.Owner == r && m.Type != msg.Upg {
-		if wb := n.takeQueuedWriteback(e, r); wb != nil {
-			n.homeWriteback(e, wb)
+		if wb, ok := n.takeQueuedWriteback(e, r); ok {
+			n.homeWriteback(e, &wb.Transient)
 			service()
 			return
 		}
@@ -103,15 +112,16 @@ func (n *Node) homeActivate(now event.Time, e *directory.Entry, m *msg.Message) 
 }
 
 // takeQueuedWriteback removes and returns a queued writeback from src.
-func (n *Node) takeQueuedWriteback(e *directory.Entry, src msg.NodeID) *msg.Message {
-	for i, p := range e.Queue {
-		t := p.Transient
+func (n *Node) takeQueuedWriteback(e *directory.Entry, src msg.NodeID) (directory.Pending, bool) {
+	for i := range e.Queue {
+		t := &e.Queue[i].Transient
 		if (t.Type == msg.PutM || t.Type == msg.PutClean) && t.Src == src {
+			p := e.Queue[i]
 			e.Queue = append(e.Queue[:i], e.Queue[i+1:]...)
-			return t
+			return p, true
 		}
 	}
-	return nil
+	return directory.Pending{}, false
 }
 
 func (n *Node) homeGetS(now event.Time, e *directory.Entry, r msg.NodeID) {
@@ -135,11 +145,11 @@ func (n *Node) homeGetS(now event.Time, e *directory.Entry, r msg.NodeID) {
 			}
 		}
 		n.Env.Eng.After(event.Time(n.dir.DRAMLatency), func(event.Time) {
-			n.Send(&msg.Message{
+			n.Send(n.Msg(msg.Message{
 				Type: msg.Data, Addr: e.Addr, Dst: r, Requester: r,
 				HasData: true, Owner: true, Exclusive: excl, AcksExpected: 0,
 				Version: e.MemVersion,
-			})
+			}))
 		})
 		return
 	}
@@ -161,10 +171,10 @@ func (n *Node) homeGetS(now event.Time, e *directory.Entry, r msg.NodeID) {
 				}
 			}
 		}
-		n.Send(&msg.Message{
+		n.Send(n.Msg(msg.Message{
 			Type: msg.Fwd, Addr: e.Addr, Dst: owner, Requester: r,
 			ToOwner: true, Migratory: true, AcksExpected: 0,
-		})
+		}))
 		return
 	}
 	e.OnDeactivate = func(*msg.Message) {
@@ -175,10 +185,10 @@ func (n *Node) homeGetS(now event.Time, e *directory.Entry, r msg.NodeID) {
 			e.Sharers.Remove(r)
 		}
 	}
-	n.Send(&msg.Message{
+	n.Send(n.Msg(msg.Message{
 		Type: msg.Fwd, Addr: e.Addr, Dst: owner, Requester: r,
 		ToOwner: true, AcksExpected: 0,
-	})
+	}))
 }
 
 func noOtherSharers(e *directory.Entry, r, owner msg.NodeID) bool {
@@ -204,22 +214,22 @@ func (n *Node) homeGetM(e *directory.Entry, r msg.NodeID) {
 	}
 	if e.Owner == directory.HomeOwner {
 		n.Env.Eng.After(event.Time(n.dir.DRAMLatency), func(event.Time) {
-			n.Send(&msg.Message{
+			n.Send(n.Msg(msg.Message{
 				Type: msg.Data, Addr: e.Addr, Dst: r, Requester: r,
 				HasData: true, Owner: true, Exclusive: acks == 0, AcksExpected: acks,
 				Version: e.MemVersion,
-			})
+			}))
 		})
 	} else {
-		n.Send(&msg.Message{
+		n.Send(n.Msg(msg.Message{
 			Type: msg.Fwd, Addr: e.Addr, Dst: e.Owner, Requester: r,
 			ToOwner: true, IsWrite: true, AcksExpected: acks,
-		})
+		}))
 	}
 	if acks > 0 {
-		n.Multicast(&msg.Message{
+		n.Multicast(n.Msg(msg.Message{
 			Type: msg.Fwd, Addr: e.Addr, Requester: r, IsWrite: true,
-		}, sharers)
+		}), sharers)
 	}
 }
 
@@ -236,11 +246,11 @@ func (n *Node) homeUpg(e *directory.Entry, r msg.NodeID) {
 		e.Owner = r
 		e.Sharers.Clear()
 	}
-	n.Send(&msg.Message{Type: msg.AckCount, Addr: e.Addr, Dst: r, Requester: r, AcksExpected: acks})
+	n.Send(n.Msg(msg.Message{Type: msg.AckCount, Addr: e.Addr, Dst: r, Requester: r, AcksExpected: acks}))
 	if acks > 0 {
-		n.Multicast(&msg.Message{
+		n.Multicast(n.Msg(msg.Message{
 			Type: msg.Fwd, Addr: e.Addr, Requester: r, IsWrite: true,
-		}, sharers)
+		}), sharers)
 	}
 }
 
@@ -290,9 +300,9 @@ func (n *Node) drainQueue(now event.Time, e *directory.Entry) {
 		e.Queue = e.Queue[1:]
 		switch p.Transient.Type {
 		case msg.PutM, msg.PutClean:
-			n.homeWriteback(e, p.Transient)
+			n.homeWriteback(e, &p.Transient)
 		default:
-			n.homeActivate(now, e, p.Transient)
+			n.homeActivate(now, e, &p.Transient)
 		}
 	}
 }

@@ -111,7 +111,7 @@ func (n *Node) Access(addr msg.Addr, isWrite bool, done func()) {
 			n.St.L2Hits++
 			n.TouchL1(addr)
 		}
-		n.Env.Eng.After(n.HitLatency(lvl), func(event.Time) { done() })
+		n.Env.Eng.After0(n.HitLatency(lvl), done)
 		return
 	}
 	// Miss. If an MSHR for this block is already outstanding, queue
@@ -135,7 +135,7 @@ func (n *Node) Access(addr msg.Addr, isWrite bool, done func()) {
 			n.St.UpgradeMisses++
 		}
 	}
-	n.Send(&msg.Message{Type: t, Addr: addr, Dst: n.Env.HomeOf(addr), Requester: n.ID, IsWrite: isWrite})
+	n.Send(n.Msg(msg.Message{Type: t, Addr: addr, Dst: n.Env.HomeOf(addr), Requester: n.ID, IsWrite: isWrite}))
 }
 
 func (n *Node) sufficient(l *cache.Line, isWrite bool) bool {
@@ -253,10 +253,10 @@ func (n *Node) maybeComplete(now event.Time, ms *mshr) {
 	n.TouchL1(ms.addr)
 	n.St.MissLatencySum += uint64(now - ms.issued)
 	delete(n.mshrs, ms.addr)
-	n.Send(&msg.Message{
+	n.Send(n.Msg(msg.Message{
 		Type: msg.Deactivate, Addr: ms.addr, Dst: n.Env.HomeOf(ms.addr),
 		Requester: n.ID, Migratory: ms.migratory,
-	})
+	}))
 	for _, d := range ms.done {
 		d()
 	}
@@ -285,11 +285,11 @@ func (n *Node) evict(l *cache.Line) {
 	case token.M, token.O:
 		n.St.WritebacksDirty++
 		n.wb[l.Addr] = &wbEntry{dirty: true, written: l.Written, version: l.Version}
-		n.Send(&msg.Message{Type: msg.PutM, Addr: l.Addr, Dst: n.Env.HomeOf(l.Addr), Requester: n.ID, HasData: true, Version: l.Version})
+		n.Send(n.Msg(msg.Message{Type: msg.PutM, Addr: l.Addr, Dst: n.Env.HomeOf(l.Addr), Requester: n.ID, HasData: true, Version: l.Version}))
 	case token.E, token.F:
 		n.St.WritebacksClean++
 		n.wb[l.Addr] = &wbEntry{dirty: false, version: l.Version}
-		n.Send(&msg.Message{Type: msg.PutClean, Addr: l.Addr, Dst: n.Env.HomeOf(l.Addr), Requester: n.ID})
+		n.Send(n.Msg(msg.Message{Type: msg.PutClean, Addr: l.Addr, Dst: n.Env.HomeOf(l.Addr), Requester: n.ID}))
 	case token.S:
 		// Silent eviction of shared blocks: the directory's sharer bit
 		// goes stale, producing the unnecessary acks §7 analyses.
@@ -308,7 +308,7 @@ func (n *Node) cacheFwd(now event.Time, m *msg.Message) {
 			n.L2.Drop(line)
 			n.InvalidateL1(m.Addr)
 		}
-		n.Send(&msg.Message{Type: msg.Ack, Addr: m.Addr, Dst: m.Requester, Requester: m.Requester})
+		n.Send(n.Msg(msg.Message{Type: msg.Ack, Addr: m.Addr, Dst: m.Requester, Requester: m.Requester}))
 		return
 	}
 	// Owner forward.
@@ -326,11 +326,11 @@ func (n *Node) cacheFwd(now event.Time, m *msg.Message) {
 		written = line.Written
 		version = line.Version
 	}
-	resp := &msg.Message{
+	resp := n.Msg(msg.Message{
 		Type: msg.Data, Addr: m.Addr, Dst: m.Requester, Requester: m.Requester,
 		HasData: true, Owner: true, OwnerDirty: dirty,
 		AcksExpected: m.AcksExpected, Version: version,
-	}
+	})
 	// A migratory conversion only proceeds if this owner actually wrote
 	// the block since acquiring it; otherwise the block is not migrating
 	// and the plain ownership transfer tells the home to clear its mark.

@@ -109,6 +109,9 @@ type Base struct {
 	// request round trips, used by PATCH (tenure timeout = 2x) and TokenB
 	// (reissue timeout = 2x). Initialised from the network diameter.
 	avgRTT float64
+
+	// others caches the OthersExcept broadcast set.
+	others []msg.NodeID
 }
 
 // NewBase constructs the cache hierarchy with the paper's sizes.
@@ -160,6 +163,12 @@ func (b *Base) Timeout() event.Time {
 	return t
 }
 
+// Msg acquires a pooled message initialised to v. Send/Multicast consume
+// the reference; the network recycles the message after delivery, so a
+// receiving handler that keeps it beyond its own return must Retain it
+// (or copy it by value) and Release it when done.
+func (b *Base) Msg(v msg.Message) *msg.Message { return b.Env.Net.NewMessage(v) }
+
 // Send is a convenience wrapper stamping the source.
 func (b *Base) Send(m *msg.Message) {
 	m.Src = b.ID
@@ -173,15 +182,18 @@ func (b *Base) Multicast(m *msg.Message, dsts []msg.NodeID) {
 }
 
 // OthersExcept returns every node id except self (broadcast destination
-// sets for PATCH-ALL and TokenB).
+// sets for PATCH-ALL and TokenB). The slice is cached; callers must not
+// mutate it.
 func (b *Base) OthersExcept() []msg.NodeID {
-	out := make([]msg.NodeID, 0, b.Env.N-1)
-	for i := 0; i < b.Env.N; i++ {
-		if msg.NodeID(i) != b.ID {
-			out = append(out, msg.NodeID(i))
+	if b.others == nil {
+		b.others = make([]msg.NodeID, 0, b.Env.N-1)
+		for i := 0; i < b.Env.N; i++ {
+			if msg.NodeID(i) != b.ID {
+				b.others = append(b.others, msg.NodeID(i))
+			}
 		}
 	}
-	return out
+	return b.others
 }
 
 // HitLatency models the L1/L2 lookup path for a hit that was filtered at

@@ -38,7 +38,14 @@ type mshr struct {
 	done       []func()
 	waiters    []waiter
 	timer      event.Handle
+
+	// n backs the Fire method: the mshr doubles as its reissue timer's
+	// event.Task, so re-arming allocates no closure.
+	n *Node
 }
+
+// Fire implements event.Task: the transient-request timeout expired.
+func (m *mshr) Fire(now event.Time) { m.n.timeout(now, m) }
 
 // arbiterState is the per-block persistent-request arbitration at the
 // home: one active persistent requester, the rest queued FIFO.
@@ -118,7 +125,7 @@ func (n *Node) Access(addr msg.Addr, isWrite bool, done func()) {
 			n.St.L2Hits++
 			n.TouchL1(addr)
 		}
-		n.Env.Eng.After(n.HitLatency(lvl), func(event.Time) { done() })
+		n.Env.Eng.After0(n.HitLatency(lvl), done)
 		return
 	}
 	if m := n.mshrs[addr]; m != nil {
@@ -126,7 +133,7 @@ func (n *Node) Access(addr msg.Addr, isWrite bool, done func()) {
 		return
 	}
 	n.St.Misses++
-	m := &mshr{addr: addr, isWrite: isWrite, issued: n.Env.Eng.Now()}
+	m := &mshr{addr: addr, isWrite: isWrite, issued: n.Env.Eng.Now(), n: n}
 	m.done = append(m.done, done)
 	n.mshrs[addr] = m
 	n.broadcast(m, false)
@@ -150,19 +157,21 @@ func (n *Node) broadcast(m *mshr, reissue bool) {
 	if reissue {
 		t = msg.Reissue
 	}
-	n.Multicast(&msg.Message{
+	n.Multicast(n.Msg(msg.Message{
 		Type: t, Addr: m.addr, Requester: n.ID, IsWrite: m.isWrite,
-	}, n.OthersExcept())
+	}), n.OthersExcept())
 	// The home's memory controller also sees the request locally when
-	// this node is the home.
+	// this node is the home. The request is consumed synchronously and
+	// never enters the network, so a plain stack value suffices.
 	if n.Env.HomeOf(m.addr) == n.ID {
-		n.memRespond(&msg.Message{Type: t, Addr: m.addr, Src: n.ID, Requester: n.ID, IsWrite: m.isWrite})
+		local := msg.Message{Type: t, Addr: m.addr, Src: n.ID, Requester: n.ID, IsWrite: m.isWrite}
+		n.memRespond(&local)
 	}
 }
 
 func (n *Node) armTimer(m *mshr) {
 	m.timer.Cancel()
-	m.timer = n.Env.Eng.After(n.Timeout(), func(now event.Time) { n.timeout(now, m) })
+	m.timer = n.Env.Eng.AfterTask(n.Timeout(), m)
 }
 
 // timeout reissues a starving transient request, escalating to a
@@ -180,10 +189,10 @@ func (n *Node) timeout(now event.Time, m *mshr) {
 	}
 	m.persistent = true
 	n.St.PersistentReqs++
-	n.Send(&msg.Message{
+	n.Send(n.Msg(msg.Message{
 		Type: msg.PersistentReq, Addr: m.addr, Dst: n.Env.HomeOf(m.addr),
 		Requester: n.ID, IsWrite: m.isWrite, Persistent: true,
-	})
+	}))
 }
 
 // Handle implements protocol.Node.
@@ -243,7 +252,12 @@ func (n *Node) transient(now event.Time, m *msg.Message) {
 // respondFromLine transfers tokens to a requester per the TokenB rules:
 // writes take everything, reads take the owner token plus data.
 func (n *Node) respondFromLine(line *cache.Line, r msg.NodeID, isWrite bool) {
-	resp := &msg.Message{Addr: line.Addr, Dst: r, Requester: r, Version: line.Version}
+	if !isWrite && !line.Tok.Owner {
+		// Non-owner sharers stay silent on reads; checked before the pool
+		// acquisition so the hot broadcast path allocates nothing here.
+		return
+	}
+	resp := n.Msg(msg.Message{Addr: line.Addr, Dst: r, Requester: r, Version: line.Version})
 	if isWrite {
 		tokens, owner, dirty := line.Tok.TakeAll()
 		resp.Type = msg.Ack
@@ -255,9 +269,6 @@ func (n *Node) respondFromLine(line *cache.Line, r msg.NodeID, isWrite bool) {
 		n.InvalidateL1(line.Addr)
 		n.L2.Drop(line)
 	} else {
-		if !line.Tok.Owner {
-			return
-		}
 		if line.Tok.Count == n.Env.Tokens && line.Written {
 			// Migratory support (as in GEMS TokenB): an M-state owner
 			// that wrote the block answers a read with everything, so
@@ -305,7 +316,7 @@ func (n *Node) memRespond(m *msg.Message) {
 	if r, ok := n.persistentTable[m.Addr]; ok && r != m.Requester {
 		return
 	}
-	resp := &msg.Message{Addr: m.Addr, Dst: m.Requester, Requester: m.Requester, Version: e.MemVersion}
+	resp := n.Msg(msg.Message{Addr: m.Addr, Dst: m.Requester, Requester: m.Requester, Version: e.MemVersion})
 	switch {
 	case m.IsWrite:
 		tokens, owner, _ := e.Tok.TakeAll()
@@ -330,6 +341,7 @@ func (n *Node) memRespond(m *msg.Message) {
 		// Read of a block owned by a cache: hand out one pooled spare.
 		spare := e.Tok.TakeNonOwner(1)
 		if spare == 0 {
+			n.Env.Net.Release(resp) // nothing to send; recycle immediately
 			return
 		}
 		resp.Type = msg.Ack
@@ -347,7 +359,7 @@ func (n *Node) memRespond(m *msg.Message) {
 func (n *Node) response(now event.Time, m *msg.Message) {
 	if r, ok := n.persistentTable[m.Addr]; ok && r != n.ID {
 		// All components forward tokens to the persistent requester.
-		fwd := &msg.Message{Type: m.Type, Addr: m.Addr, Dst: r, Requester: r, Version: m.Version}
+		fwd := n.Msg(msg.Message{Type: m.Type, Addr: m.Addr, Dst: r, Requester: r, Version: m.Version})
 		token.Attach(fwd, m.Tokens, m.Owner, m.OwnerDirty, m.HasData)
 		n.Send(fwd)
 		return
@@ -400,10 +412,10 @@ func (n *Node) response(now event.Time, m *msg.Message) {
 	// the retired MSHR and deactivates then.
 	if r, ok := n.persistentTable[ms.addr]; ok && r == n.ID {
 		delete(n.persistentTable, ms.addr)
-		n.Send(&msg.Message{
+		n.Send(n.Msg(msg.Message{
 			Type: msg.PersistentDeact, Addr: ms.addr, Dst: n.Env.HomeOf(ms.addr),
 			Requester: n.ID, Persistent: true,
-		})
+		}))
 	}
 	for _, d := range ms.done {
 		d()
@@ -439,7 +451,7 @@ func (n *Node) evict(l *cache.Line) {
 	} else {
 		n.St.WritebacksClean++
 	}
-	wb := &msg.Message{Type: t, Addr: l.Addr, Dst: n.Env.HomeOf(l.Addr), Requester: n.ID, Version: l.Version}
+	wb := n.Msg(msg.Message{Type: t, Addr: l.Addr, Dst: n.Env.HomeOf(l.Addr), Requester: n.ID, Version: l.Version})
 	token.Attach(wb, tokens, owner, dirty, dirty)
 	n.Send(wb)
 }
@@ -448,7 +460,7 @@ func (n *Node) evict(l *cache.Line) {
 // an active persistent requester).
 func (n *Node) memTokens(now event.Time, m *msg.Message) {
 	if r, ok := n.persistentTable[m.Addr]; ok && r != n.ID {
-		fwd := &msg.Message{Type: msg.Ack, Addr: m.Addr, Dst: r, Requester: r, Version: m.Version}
+		fwd := n.Msg(msg.Message{Type: msg.Ack, Addr: m.Addr, Dst: r, Requester: r, Version: m.Version})
 		withData := m.HasData
 		if m.Owner && !withData {
 			withData = true // clean owner re-joined with the memory copy
@@ -491,14 +503,16 @@ func (n *Node) arbiterRequest(m *msg.Message) {
 // broadcastActivation tells every node (including this one) who the
 // persistent requester is; everyone forwards tokens to it.
 func (n *Node) broadcastActivation(addr msg.Addr, r msg.NodeID) {
-	act := &msg.Message{
+	act := n.Msg(msg.Message{
 		Type: msg.PersistentReq, Addr: addr, Requester: r,
 		Persistent: true, Activated: true,
-	}
-	n.Multicast(act, n.OthersExcept())
-	local := *act
+	})
+	// Copy the local-delivery view before Multicast consumes the pooled
+	// message; the copy is a plain value outside the pool's lifecycle.
+	local := act.Detached()
 	local.Src = n.ID
 	local.Dst = n.ID
+	n.Multicast(act, n.OthersExcept())
 	n.persistentActivate(n.Env.Eng.Now(), &local)
 }
 
@@ -513,10 +527,10 @@ func (n *Node) persistentActivate(now event.Time, m *msg.Message) {
 		// once.
 		if n.mshrs[m.Addr] == nil {
 			delete(n.persistentTable, m.Addr)
-			n.Send(&msg.Message{
+			n.Send(n.Msg(msg.Message{
 				Type: msg.PersistentDeact, Addr: m.Addr, Dst: n.Env.HomeOf(m.Addr),
 				Requester: n.ID, Persistent: true,
-			})
+			}))
 		}
 		return
 	}
@@ -527,7 +541,7 @@ func (n *Node) persistentActivate(now event.Time, m *msg.Message) {
 		e := n.mem.Entry(m.Addr)
 		if !e.Tok.Zero() {
 			tokens, owner, _ := e.Tok.TakeAll()
-			resp := &msg.Message{Type: msg.Ack, Addr: m.Addr, Dst: r, Requester: r, Version: e.MemVersion}
+			resp := n.Msg(msg.Message{Type: msg.Ack, Addr: m.Addr, Dst: r, Requester: r, Version: e.MemVersion})
 			if owner {
 				resp.Type = msg.Data
 			}
@@ -544,10 +558,10 @@ func (n *Node) arbiterDeact(m *msg.Message) {
 	if a == nil || !a.busy || a.active != m.Requester {
 		panic(fmt.Sprintf("tokenb: arbiter %d: spurious deactivation %v", n.ID, m))
 	}
-	deact := &msg.Message{
+	deact := n.Msg(msg.Message{
 		Type: msg.PersistentDeact, Addr: m.Addr, Requester: m.Requester,
 		Persistent: true, Activated: true,
-	}
+	})
 	n.Multicast(deact, n.OthersExcept())
 	delete(n.persistentTable, m.Addr)
 	a.busy = false

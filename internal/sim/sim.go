@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"os"
 
+	"patch/internal/addrmap"
 	"patch/internal/cache"
 	"patch/internal/core"
 	"patch/internal/directory"
@@ -164,6 +165,7 @@ type System struct {
 	Gen   workload.Generator
 
 	warming      bool
+	issuers      []issuer
 	warmFinished int
 	finished     int
 	opsIssued    uint64
@@ -173,8 +175,9 @@ type System struct {
 	// storeCounts tracks stores issued per block (warmup included) for
 	// the end-of-run write-serialisation check: each store increments
 	// the block's version exactly once, so the final maximum version of
-	// a block must equal its store count.
-	storeCounts map[msg.Addr]uint64
+	// a block must equal its store count. An open-addressed table keeps
+	// this per-operation bump off the Go map hot path.
+	storeCounts *addrmap.Map[uint64]
 
 	// auditor, when checks are enabled on a token protocol, watches
 	// token-carrying messages enter and leave the network so Rule #1 can
@@ -236,7 +239,7 @@ func NewSystem(cfg Config) (*System, error) {
 
 	s := &System{Cfg: cfg, Eng: eng, Net: net, Env: env, Gen: gen}
 	if !cfg.SkipChecks {
-		s.storeCounts = make(map[msg.Addr]uint64)
+		s.storeCounts = new(addrmap.Map[uint64])
 		if cfg.Protocol == PATCH || cfg.Protocol == TokenB {
 			s.auditor = trace.NewAuditor(env.Tokens)
 			net.OnSend = func(_ event.Time, m *msg.Message) { s.auditor.Sent(m) }
@@ -272,14 +275,17 @@ func NewSystem(cfg Config) (*System, error) {
 // attachOrderChecker installs an online per-core coherence-order monitor:
 // each core must observe non-decreasing write versions per block.
 func (s *System) attachOrderChecker(i int) {
-	lastSeen := make(map[msg.Addr]uint64)
+	lastSeen := new(addrmap.Map[uint64])
 	obs := func(addr msg.Addr, isWrite bool, version uint64) {
-		if prev, ok := lastSeen[addr]; ok && version < prev && s.orderViolation == nil {
+		// Versions only grow, so "never observed" (zero) cannot trip the
+		// non-decreasing check.
+		p := lastSeen.Ptr(addr)
+		if version < *p && s.orderViolation == nil {
 			s.orderViolation = fmt.Errorf(
 				"sim: coherence order violated: core %d observed version %d after %d for %#x",
-				i, version, prev, uint64(addr))
+				i, version, *p, uint64(addr))
 		}
-		lastSeen[addr] = version
+		*p = version
 	}
 	switch v := s.Nodes[i].(type) {
 	case *directoryproto.Node:
@@ -291,36 +297,82 @@ func (s *System) attachOrderChecker(i int) {
 	}
 }
 
+// issuer drives one core's operation loop. It doubles as the think-time
+// event.Task and keeps a single completion callback, so steady-state op
+// issue allocates nothing: pull the next op, sleep the think time, fire
+// the access, advance on completion.
+type issuer struct {
+	s         *System
+	c         int
+	remaining int
+	warm      bool
+	addr      msg.Addr
+	write     bool
+	advance   func() // completion callback, built once per core
+}
+
+// start begins a phase (warmup or measured) for this core.
+func (it *issuer) start(warm bool, remaining int) {
+	it.warm = warm
+	it.remaining = remaining
+	it.pull()
+}
+
+// pull fetches the next operation and schedules it after its think time,
+// or reports phase completion.
+func (it *issuer) pull() {
+	s := it.s
+	if it.remaining == 0 {
+		if it.warm {
+			s.warmFinished++
+			if s.warmFinished == s.Cfg.Cores {
+				s.beginMeasurement()
+			}
+		} else {
+			s.finished++
+			if s.finished == s.Cfg.Cores {
+				s.doneAt = s.Eng.Now()
+			}
+		}
+		return
+	}
+	op := s.Gen.Next(it.c)
+	if op.Write && s.storeCounts != nil {
+		*s.storeCounts.Ptr(op.Addr)++
+	}
+	it.addr, it.write = op.Addr, op.Write
+	s.Eng.AfterTask(event.Time(op.Think), it)
+}
+
+// Fire implements event.Task: the think time elapsed, perform the op.
+func (it *issuer) Fire(event.Time) {
+	if !it.warm {
+		it.s.opsIssued++
+	}
+	it.s.Nodes[it.c].Access(it.addr, it.write, it.advance)
+}
+
 // start seeds each core's operation loop: an optional warmup phase with
 // a barrier, then the measured phase.
 func (s *System) start() {
+	s.issuers = make([]issuer, s.Cfg.Cores)
+	for c := range s.issuers {
+		it := &s.issuers[c]
+		it.s = s
+		it.c = c
+		it.advance = func() {
+			it.remaining--
+			it.pull()
+		}
+	}
 	if s.Cfg.WarmupOps > 0 {
 		s.warming = true
-		for c := 0; c < s.Cfg.Cores; c++ {
-			s.issueWarm(c, s.Cfg.WarmupOps)
+		for c := range s.issuers {
+			s.issuers[c].start(true, s.Cfg.WarmupOps)
 		}
 		return
 	}
 	s.beginMeasurement()
-}
-
-func (s *System) issueWarm(c, remaining int) {
-	if remaining == 0 {
-		s.warmFinished++
-		if s.warmFinished == s.Cfg.Cores {
-			s.beginMeasurement()
-		}
-		return
-	}
-	op := s.Gen.Next(c)
-	if op.Write && s.storeCounts != nil {
-		s.storeCounts[op.Addr]++
-	}
-	s.Eng.After(event.Time(op.Think), func(event.Time) {
-		s.Nodes[c].Access(op.Addr, op.Write, func() {
-			s.issueWarm(c, remaining-1)
-		})
-	})
 }
 
 // beginMeasurement resets statistics (caches stay warm) and releases
@@ -332,8 +384,8 @@ func (s *System) beginMeasurement() {
 		resetNodeStats(n)
 	}
 	s.startedAt = s.Eng.Now()
-	for c := 0; c < s.Cfg.Cores; c++ {
-		s.issue(c, s.Cfg.OpsPerCore)
+	for c := range s.issuers {
+		s.issuers[c].start(false, s.Cfg.OpsPerCore)
 	}
 }
 
@@ -346,26 +398,6 @@ func resetNodeStats(n protocol.Node) {
 	case *tokenb.Node:
 		v.ResetStats()
 	}
-}
-
-func (s *System) issue(c, remaining int) {
-	if remaining == 0 {
-		s.finished++
-		if s.finished == s.Cfg.Cores {
-			s.doneAt = s.Eng.Now()
-		}
-		return
-	}
-	op := s.Gen.Next(c)
-	if op.Write && s.storeCounts != nil {
-		s.storeCounts[op.Addr]++
-	}
-	s.Eng.After(event.Time(op.Think), func(event.Time) {
-		s.opsIssued++
-		s.Nodes[c].Access(op.Addr, op.Write, func() {
-			s.issue(c, remaining-1)
-		})
-	})
 }
 
 // Run executes the simulation to completion and returns the results.
@@ -508,10 +540,10 @@ func (s *System) checkWriteSerialization() error {
 	if s.storeCounts == nil {
 		return nil
 	}
-	maxVersion := make(map[msg.Addr]uint64, len(s.storeCounts))
+	maxVersion := new(addrmap.Map[uint64])
 	consider := func(a msg.Addr, v uint64) {
-		if v > maxVersion[a] {
-			maxVersion[a] = v
+		if p := maxVersion.Ptr(a); v > *p {
+			*p = v
 		}
 	}
 	for _, n := range s.Nodes {
@@ -534,13 +566,15 @@ func (s *System) checkWriteSerialization() error {
 			v.Memory().ForEach(func(e *directory.Entry) { consider(e.Addr, e.MemVersion) })
 		}
 	}
-	for a, want := range s.storeCounts {
-		if got := maxVersion[a]; got != want {
-			return fmt.Errorf("sim: write serialisation violated at %#x: final version %d, %d stores issued",
-				uint64(a), got, want)
+	var serErr error
+	s.storeCounts.ForEach(func(a msg.Addr, want *uint64) {
+		got, _ := maxVersion.Get(a)
+		if got != *want && serErr == nil {
+			serErr = fmt.Errorf("sim: write serialisation violated at %#x: final version %d, %d stores issued",
+				uint64(a), got, *want)
 		}
-	}
-	return nil
+	})
+	return serErr
 }
 
 // checkSingleWriter validates MOESI compatibility across all caches:

@@ -45,6 +45,37 @@ type Link struct {
 	From, To int
 }
 
+// NumLinks returns the size of the dense link-index space: every node
+// owns four outgoing-direction slots (+x, -x, +y, -y). Narrow tori leave
+// some slots unused; the waste is bounded and the indexing stays O(1).
+func (t Torus) NumLinks() int { return 4 * t.Nodes() }
+
+// LinkIndex maps a unidirectional neighbour link to a dense index in
+// [0, NumLinks()), replacing map[Link] lookups on the contention hot
+// path with slice indexing. On a 2-wide ring both directions between a
+// node pair are the same Link value and map to the same slot, matching
+// the Link struct's identity.
+func (t Torus) LinkIndex(l Link) int {
+	x1, y1 := t.Coord(l.From)
+	x2, y2 := t.Coord(l.To)
+	var dir int
+	switch {
+	case x1 != x2:
+		if (x2-x1+t.W)%t.W != 1 {
+			dir = 1
+		}
+	case y1 != y2:
+		if (y2-y1+t.H)%t.H == 1 {
+			dir = 2
+		} else {
+			dir = 3
+		}
+	default:
+		panic(fmt.Sprintf("topology: %v is not a neighbour link", l))
+	}
+	return l.From*4 + dir
+}
+
 // step returns the next hop from coordinate a toward coordinate b along
 // one dimension of size n, moving in the shorter direction around the
 // ring (ties go in the increasing direction).
