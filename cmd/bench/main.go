@@ -9,10 +9,14 @@
 //	bench -quick          # smoke scale (CI)
 //	bench -out FILE       # override the output path
 //	bench -compare FILE   # print an old-vs-new table against a prior record
+//	bench -gate FILE      # CI regression gate: exit non-zero on a >2x
+//	                      # ns/op or allocs/op regression vs FILE
 //
-// Without -compare, the newest BENCH_*.json in the working directory
-// (other than the one being written) is used as the comparison baseline
-// when present.
+// Without -compare, the comparison baseline is the BENCH_*.json in the
+// working directory with the newest JSON date field (filename breaks
+// ties; `*_before.json` snapshots, the file being written, and records
+// at the other -quick scale are skipped). Selection is by the record's
+// own date, not file mtime, so it is deterministic after a fresh clone.
 package main
 
 import (
@@ -24,12 +28,14 @@ import (
 	"path/filepath"
 	"runtime"
 	"sort"
+	"strings"
 	"testing"
 	"time"
 
 	patch "patch"
 	"patch/internal/predictor"
 	"patch/internal/sim"
+	"patch/internal/workload"
 )
 
 // Record is one benchmark scenario's measurement.
@@ -135,33 +141,109 @@ func scenarios(quick bool) []scenario {
 	}
 }
 
+// traceScenarios measures replay startup (open + one op per core) for
+// the two recorded-trace formats: the text parser materializes the
+// whole trace up front, the binary streamer reads fixed per-core
+// windows. Recording both keeps the O(window)-startup property of
+// streaming replay in the committed perf trajectory.
+func traceScenarios(dir string, quick bool) ([]scenario, error) {
+	cores, ops := 16, 20000
+	if quick {
+		ops = 4000
+	}
+	textPath := filepath.Join(dir, "bench.trace")
+	binPath := filepath.Join(dir, "bench.bin")
+	for _, tr := range []struct {
+		path   string
+		record func(f *os.File, g workload.Generator) error
+	}{
+		{textPath, func(f *os.File, g workload.Generator) error { return workload.Record(f, g, cores, ops) }},
+		{binPath, func(f *os.File, g workload.Generator) error { return workload.RecordBinary(f, g, cores, ops) }},
+	} {
+		g, err := workload.Named("oltp", cores, 1)
+		if err != nil {
+			return nil, err
+		}
+		f, err := os.Create(tr.path)
+		if err != nil {
+			return nil, err
+		}
+		if err := tr.record(f, g); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if err := f.Close(); err != nil {
+			return nil, err
+		}
+	}
+	startup := func(path string) func(b *testing.B) float64 {
+		return func(b *testing.B) float64 {
+			for i := 0; i < b.N; i++ {
+				r, err := workload.OpenTrace(path, cores)
+				if err != nil {
+					fail(b, err)
+				}
+				for c := 0; c < cores; c++ {
+					r.Next(c)
+				}
+				r.Close()
+			}
+			return 0
+		}
+	}
+	return []scenario{
+		{name: "trace/parse-text", run: startup(textPath)},
+		{name: "trace/stream-binary", run: startup(binPath)},
+	}, nil
+}
+
 func main() {
 	quick := flag.Bool("quick", false, "smoke scale (single iteration, smaller grid)")
 	out := flag.String("out", "", "output path (default BENCH_<date>.json)")
-	compare := flag.String("compare", "", "prior BENCH_*.json to diff against (default: newest in cwd)")
+	compare := flag.String("compare", "", "prior BENCH_*.json to diff against (default: newest committed date in cwd)")
+	gate := flag.String("gate", "", "baseline BENCH_*.json to gate against: exit non-zero on regression (CI)")
+	gateThreshold := flag.Float64("gate-threshold", 2.0, "ns/op or allocs/op ratio that fails the gate")
 	flag.Parse()
+	if err := benchMain(*quick, *out, *compare, *gate, *gateThreshold); err != nil {
+		fatal(err)
+	}
+}
 
+// benchMain is the whole run behind an error return, so deferred
+// cleanup (the recorded-trace temp directory) survives failures that
+// would skip it under a direct os.Exit.
+func benchMain(quick bool, out, compare, gate string, gateThreshold float64) error {
 	date := time.Now().Format("2006-01-02")
-	path := *out
+	path := out
 	if path == "" {
 		path = fmt.Sprintf("BENCH_%s.json", date)
 	}
 
-	f := File{Date: date, GoVersion: runtime.Version(), GOMAXPROCS: runtime.GOMAXPROCS(0), Quick: *quick}
-	for _, sc := range scenarios(*quick) {
+	traceDir, err := os.MkdirTemp("", "bench-trace")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(traceDir)
+	traceScens, err := traceScenarios(traceDir, quick)
+	if err != nil {
+		return err
+	}
+
+	f := File{Date: date, GoVersion: runtime.Version(), GOMAXPROCS: runtime.GOMAXPROCS(0), Quick: quick}
+	for _, sc := range append(scenarios(quick), traceScens...) {
 		var simCycles float64
 		body := func(b *testing.B) {
 			b.ReportAllocs()
 			simCycles = sc.run(b)
 		}
 		var res testing.BenchmarkResult
-		if *quick {
-			res = runOnce(body)
+		if quick {
+			res = runBest(body, 3)
 		} else {
 			res = testing.Benchmark(body)
 		}
 		if scenarioErr != nil {
-			fatal(fmt.Errorf("%s: %w", sc.name, scenarioErr))
+			return fmt.Errorf("%s: %w", sc.name, scenarioErr)
 		}
 		rec := Record{
 			Name:           sc.name,
@@ -181,68 +263,171 @@ func main() {
 
 	data, err := json.MarshalIndent(f, "", "  ")
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
-		fatal(err)
+		return err
 	}
 	fmt.Printf("wrote %s\n", path)
 
-	basePath := *compare
+	basePath := compare
 	if basePath == "" {
-		basePath = newestOther(path)
+		basePath = latestBaseline(path, quick)
 	}
 	if basePath != "" {
 		printComparison(basePath, f)
 	}
-}
 
-// runOnce executes the benchmark body exactly once (b.N=1) with its own
-// allocation accounting — testing.Benchmark would rerun it for timing
-// stability, which the CI smoke job does not need. The body runs on its
-// own goroutine because a failing body exits via runtime.Goexit
-// (b.Fatal); the driver then reports scenarioErr instead of deadlocking.
-func runOnce(body func(b *testing.B)) testing.BenchmarkResult {
-	var before, after runtime.MemStats
-	b := &testing.B{N: 1}
-	runtime.GC()
-	runtime.ReadMemStats(&before)
-	start := time.Now()
-	done := make(chan struct{})
-	go func() {
-		defer close(done)
-		body(b)
-	}()
-	<-done
-	elapsed := time.Since(start)
-	runtime.ReadMemStats(&after)
-	return testing.BenchmarkResult{
-		N:         1,
-		T:         elapsed,
-		MemAllocs: after.Mallocs - before.Mallocs,
-		MemBytes:  after.TotalAlloc - before.TotalAlloc,
+	if gate != "" {
+		return runGate(gate, f, gateThreshold)
 	}
+	return nil
 }
 
-// newestOther returns the most recently modified BENCH_*.json that is
-// not the file just written, with lexical order as the tiebreak.
-// Modification time (not name order) decides, so a same-date pair like
-// BENCH_<date>_before.json / BENCH_<date>.json compares against the
-// newer record rather than whichever name sorts last.
-func newestOther(exclude string) string {
-	matches, _ := filepath.Glob("BENCH_*.json")
-	sort.Strings(matches)
-	best, bestTime := "", time.Time{}
-	for _, m := range matches {
-		if filepath.Clean(m) == filepath.Clean(exclude) {
+// runGate is the CI regression gate: it diffs the current record
+// against the committed baseline and fails (non-zero exit) when any
+// shared scenario regressed by more than threshold in ns/op or
+// allocs/op. Scales must match — gating a quick run against a full
+// baseline (or vice versa) would compare different grids.
+func runGate(basePath string, cur File, threshold float64) error {
+	data, err := os.ReadFile(basePath)
+	if err != nil {
+		return fmt.Errorf("gate: %w", err)
+	}
+	var base File
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("gate: %s: %w", basePath, err)
+	}
+	if base.Quick != cur.Quick {
+		return fmt.Errorf("gate: scale mismatch: baseline %s has quick=%v, this run quick=%v (regenerate the baseline at the gated scale)",
+			basePath, base.Quick, cur.Quick)
+	}
+	old := make(map[string]Record, len(base.Records))
+	for _, r := range base.Records {
+		old[r.Name] = r
+	}
+	var violations []string
+	exceeds := func(oldV, newV float64) bool { return oldV > 0 && newV > threshold*oldV }
+	for _, r := range cur.Records {
+		o, ok := old[r.Name]
+		if !ok {
+			continue // new scenario: nothing to regress against
+		}
+		if exceeds(o.NsPerOp, r.NsPerOp) {
+			violations = append(violations, fmt.Sprintf("%s: ns/op %.0f -> %.0f (%.2fx > %.2fx)",
+				r.Name, o.NsPerOp, r.NsPerOp, r.NsPerOp/o.NsPerOp, threshold))
+		}
+		if exceeds(float64(o.AllocsPerOp), float64(r.AllocsPerOp)) {
+			violations = append(violations, fmt.Sprintf("%s: allocs/op %d -> %d (%.2fx > %.2fx)",
+				r.Name, o.AllocsPerOp, r.AllocsPerOp, float64(r.AllocsPerOp)/float64(o.AllocsPerOp), threshold))
+		}
+	}
+	if len(violations) > 0 {
+		return fmt.Errorf("gate: regression vs %s:\n  %s", basePath, strings.Join(violations, "\n  "))
+	}
+	fmt.Printf("gate: ok vs %s (no >%.1fx ns/op or allocs/op regression)\n", basePath, threshold)
+	return nil
+}
+
+// runBest executes the benchmark body reps times at b.N=1 with its own
+// allocation accounting, keeping the fastest time and the lowest
+// allocation count observed — testing.Benchmark's convergence loop is
+// overkill for the CI smoke job, but a single-shot timing is too noisy
+// for the regression gate to consume (one GC or scheduler hiccup reads
+// as a 2x "regression"); the minimum over a few repetitions rejects
+// that noise while allocs, being deterministic, stay exact. The body
+// runs on its own goroutine because a failing body exits via
+// runtime.Goexit (b.Fatal); the driver then reports scenarioErr instead
+// of deadlocking.
+func runBest(body func(b *testing.B), reps int) testing.BenchmarkResult {
+	var best testing.BenchmarkResult
+	for i := 0; i < reps; i++ {
+		var before, after runtime.MemStats
+		b := &testing.B{N: 1}
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			body(b)
+		}()
+		<-done
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
+		r := testing.BenchmarkResult{
+			N:         1,
+			T:         elapsed,
+			MemAllocs: after.Mallocs - before.Mallocs,
+			MemBytes:  after.TotalAlloc - before.TotalAlloc,
+		}
+		if scenarioErr != nil {
+			return r
+		}
+		if i == 0 {
+			best = r
 			continue
 		}
-		info, err := os.Stat(m)
+		if r.T < best.T {
+			best.T = r.T
+		}
+		if r.MemAllocs < best.MemAllocs {
+			best.MemAllocs = r.MemAllocs
+		}
+		if r.MemBytes < best.MemBytes {
+			best.MemBytes = r.MemBytes
+		}
+	}
+	return best
+}
+
+// latestBaseline returns the comparison baseline: the BENCH_*.json
+// whose JSON date field is newest, with the lexically greatest filename
+// breaking date ties. File modification time is deliberately not
+// consulted — after a fresh clone every file carries the same checkout
+// mtime, which made the old ModTime-based choice nondeterministic.
+// Skipped: the file just written, `*_before.json` pre-change snapshots,
+// and unparsable files. Records at the same scale (quick flag) as the
+// current run are preferred, so a full run never silently diffs against
+// a quick smoke record when a full baseline exists.
+func latestBaseline(exclude string, quick bool) string {
+	matches, _ := filepath.Glob("BENCH_*.json")
+	sort.Strings(matches)
+	type candidate struct {
+		path, date string
+		quick      bool
+	}
+	var cands []candidate
+	for _, m := range matches {
+		if filepath.Clean(m) == filepath.Clean(exclude) ||
+			strings.HasSuffix(m, "_before.json") {
+			continue
+		}
+		data, err := os.ReadFile(m)
 		if err != nil {
 			continue
 		}
-		if best == "" || info.ModTime().After(bestTime) {
-			best, bestTime = m, info.ModTime()
+		var f File
+		if err := json.Unmarshal(data, &f); err != nil || f.Date == "" {
+			continue
+		}
+		cands = append(cands, candidate{path: m, date: f.Date, quick: f.Quick})
+	}
+	best := ""
+	for _, sameScaleOnly := range []bool{true, false} {
+		bestDate := ""
+		for _, c := range cands {
+			if sameScaleOnly && c.quick != quick {
+				continue
+			}
+			// ISO dates compare lexically; candidates arrive in filename
+			// order, so >= implements the filename tiebreak.
+			if c.date >= bestDate {
+				best, bestDate = c.path, c.date
+			}
+		}
+		if best != "" {
+			break
 		}
 	}
 	return best

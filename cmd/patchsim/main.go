@@ -35,8 +35,9 @@ func main() {
 	unbounded := flag.Bool("unbounded", false, "disable link bandwidth modelling")
 	coarseness := flag.Int("coarseness", 1, "sharer-encoding coarseness K (1 = full map)")
 	traceBlock := flag.Uint64("trace", 0, "dump the message trace for one block address (hex ok with 0x)")
-	record := flag.String("record", "", "record the reference trace to a file instead of simulating")
-	replay := flag.String("replay", "", "replay a recorded reference trace instead of a named workload")
+	record := flag.String("record", "", "record the reference trace to a text file instead of simulating")
+	recordBinary := flag.String("record-binary", "", "record the reference trace to a streamable binary file instead of simulating")
+	replay := flag.String("replay", "", "replay a recorded reference trace (text or binary, detected by content) instead of a named workload")
 	flag.Parse()
 
 	opts := []patch.Option{
@@ -84,13 +85,17 @@ func main() {
 		os.Exit(2)
 	}
 
-	if *record != "" {
-		if err := recordTrace(*record, cfg); err != nil {
+	if *record != "" || *recordBinary != "" {
+		path, binary := *record, false
+		if *recordBinary != "" {
+			path, binary = *recordBinary, true
+		}
+		if err := recordTrace(path, cfg, binary); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		fmt.Printf("recorded %d ops/core of %s for %d cores to %s\n",
-			cfg.OpsPerCore+max(cfg.WarmupOps, 0), cfg.Workload, cfg.Cores, *record)
+			cfg.OpsPerCore+max(cfg.WarmupOps, 0), cfg.Workload, cfg.Cores, path)
 		return
 	}
 
@@ -148,8 +153,9 @@ func main() {
 }
 
 // recordTrace dumps the workload's reference stream (warmup plus
-// measured ops) to a trace file for later replay.
-func recordTrace(path string, cfg patch.Config) error {
+// measured ops) to a trace file for later replay, in the text format or
+// the streamable binary format.
+func recordTrace(path string, cfg patch.Config, binary bool) error {
 	g, err := workload.Named(cfg.Workload, cfg.Cores, cfg.Seed)
 	if err != nil {
 		return err
@@ -158,12 +164,19 @@ func recordTrace(path string, cfg patch.Config) error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
 	warm := cfg.WarmupOps
 	if warm <= 0 {
 		warm = cfg.OpsPerCore
 	}
-	return workload.Record(f, g, cfg.Cores, cfg.OpsPerCore+warm)
+	if binary {
+		err = workload.RecordBinary(f, g, cfg.Cores, cfg.OpsPerCore+warm)
+	} else {
+		err = workload.Record(f, g, cfg.Cores, cfg.OpsPerCore+warm)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // runTraced executes the simulation with a per-block message tracer and

@@ -5,8 +5,10 @@
 // friendly; the index table is linear-probed with a multiplicative hash,
 // so a lookup is a few array probes instead of runtime map machinery.
 //
-// Deletion is deliberately unsupported: the simulator's per-block state
-// (directory entries, store counts, version watermarks) only grows.
+// The simulator's per-block state (directory entries, store counts,
+// version watermarks) only grows, so the hot paths never delete; Delete
+// exists for tooling and is O(n), rebuilding the index to keep both the
+// probe sequences and the insertion-order iteration exact.
 package addrmap
 
 import "patch/internal/msg"
@@ -49,7 +51,8 @@ func (m *Map[V]) Get(a msg.Addr) (V, bool) {
 }
 
 // Ptr returns a pointer to the value stored for a, inserting the zero
-// value first if absent. The pointer is invalidated by the next insert.
+// value first if absent. The pointer is invalidated by the next insert
+// or delete.
 func (m *Map[V]) Ptr(a msg.Addr) *V {
 	if len(m.idx) == 0 || len(m.addrs) >= len(m.idx)*3/4 {
 		m.grow()
@@ -69,6 +72,32 @@ func (m *Map[V]) Ptr(a msg.Addr) *V {
 	}
 }
 
+// Delete removes the entry for a, if present, preserving the insertion
+// order of the remaining entries. It is O(n) — the dense slabs shift
+// and the index is rebuilt — which is fine for the tooling that uses
+// it; the simulator's hot paths only ever insert.
+func (m *Map[V]) Delete(a msg.Addr) bool {
+	if len(m.idx) == 0 {
+		return false
+	}
+	for i := hash(a) & m.mask; ; i = (i + 1) & m.mask {
+		p := m.idx[i]
+		if p == 0 {
+			return false
+		}
+		if m.addrs[p-1] == a {
+			pos := int(p - 1)
+			m.addrs = append(m.addrs[:pos], m.addrs[pos+1:]...)
+			copy(m.vals[pos:], m.vals[pos+1:])
+			var zero V
+			m.vals[len(m.vals)-1] = zero // release the shifted-out tail
+			m.vals = m.vals[:len(m.vals)-1]
+			m.rebuild()
+			return true
+		}
+	}
+}
+
 // grow (re)builds the index table at twice the capacity.
 func (m *Map[V]) grow() {
 	size := 2 * len(m.idx)
@@ -77,6 +106,12 @@ func (m *Map[V]) grow() {
 	}
 	m.idx = make([]int32, size)
 	m.mask = uint64(size - 1)
+	m.rebuild()
+}
+
+// rebuild reindexes every dense entry into the current table.
+func (m *Map[V]) rebuild() {
+	clear(m.idx)
 	for pos, a := range m.addrs {
 		i := hash(a) & m.mask
 		for m.idx[i] != 0 {

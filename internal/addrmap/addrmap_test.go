@@ -1,0 +1,224 @@
+package addrmap
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"testing"
+
+	"patch/internal/msg"
+)
+
+func TestInsertLookup(t *testing.T) {
+	var m Map[int]
+	if _, ok := m.Get(0x1000); ok {
+		t.Fatal("empty map reported a hit")
+	}
+	if m.Len() != 0 {
+		t.Fatalf("empty Len = %d", m.Len())
+	}
+	*m.Ptr(0x1000) = 7
+	*m.Ptr(0x2000) = 8
+	*m.Ptr(0) = 9 // address zero must be a valid key
+	if v, ok := m.Get(0x1000); !ok || v != 7 {
+		t.Fatalf("Get(0x1000) = %d, %v", v, ok)
+	}
+	if v, ok := m.Get(0); !ok || v != 9 {
+		t.Fatalf("Get(0) = %d, %v", v, ok)
+	}
+	*m.Ptr(0x1000) = 17 // update, not duplicate
+	if v, _ := m.Get(0x1000); v != 17 {
+		t.Fatalf("update lost: %d", v)
+	}
+	if m.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", m.Len())
+	}
+	if _, ok := m.Get(0x3000); ok {
+		t.Fatal("absent key reported a hit")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	var m Map[int]
+	if m.Delete(0x40) {
+		t.Fatal("delete on empty map succeeded")
+	}
+	for i := 0; i < 8; i++ {
+		*m.Ptr(msg.Addr(i * 0x40)) = i
+	}
+	if !m.Delete(0x40*3) || m.Len() != 7 {
+		t.Fatalf("delete failed, Len = %d", m.Len())
+	}
+	if m.Delete(0x40 * 3) {
+		t.Fatal("double delete succeeded")
+	}
+	if _, ok := m.Get(0x40 * 3); ok {
+		t.Fatal("deleted key still present")
+	}
+	// The rest survive with their values, in insertion order.
+	want := []int{0, 1, 2, 4, 5, 6, 7}
+	var got []int
+	m.ForEach(func(a msg.Addr, v *int) { got = append(got, *v) })
+	if len(got) != len(want) {
+		t.Fatalf("iterated %d entries, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order after delete: got %v want %v", got, want)
+		}
+	}
+	// Reinsert goes to the end of the iteration order.
+	*m.Ptr(0x40 * 3) = 33
+	var last int
+	m.ForEach(func(a msg.Addr, v *int) { last = *v })
+	if last != 33 {
+		t.Fatalf("reinserted entry not last: %d", last)
+	}
+}
+
+// TestSlabGrowth pushes the map through many index rebuilds and checks
+// every entry survives with its value.
+func TestSlabGrowth(t *testing.T) {
+	var m Map[uint64]
+	const n = 50_000
+	for i := uint64(0); i < n; i++ {
+		*m.Ptr(msg.Addr(i * 64)) = i * 3
+	}
+	if m.Len() != n {
+		t.Fatalf("Len = %d, want %d", m.Len(), n)
+	}
+	for i := uint64(0); i < n; i++ {
+		if v, ok := m.Get(msg.Addr(i * 64)); !ok || v != i*3 {
+			t.Fatalf("entry %d: got %d, %v", i, v, ok)
+		}
+	}
+}
+
+// TestIterationDeterministic checks ForEach visits entries in insertion
+// order, identically across two maps built in the same order — the
+// property the simulator's determinism rests on.
+func TestIterationDeterministic(t *testing.T) {
+	build := func() *Map[int] {
+		m := new(Map[int])
+		r := rand.New(rand.NewSource(99))
+		for i := 0; i < 2000; i++ {
+			*m.Ptr(msg.Addr(r.Uint64() &^ 63)) = i
+		}
+		return m
+	}
+	a, b := build(), build()
+	var orderA, orderB []msg.Addr
+	a.ForEach(func(ad msg.Addr, _ *int) { orderA = append(orderA, ad) })
+	b.ForEach(func(ad msg.Addr, _ *int) { orderB = append(orderB, ad) })
+	if len(orderA) != len(orderB) {
+		t.Fatalf("lengths differ: %d vs %d", len(orderA), len(orderB))
+	}
+	seen := make(map[msg.Addr]bool)
+	for i := range orderA {
+		if orderA[i] != orderB[i] {
+			t.Fatalf("iteration order diverged at %d: %#x vs %#x", i, orderA[i], orderB[i])
+		}
+		if seen[orderA[i]] {
+			t.Fatalf("address %#x visited twice", orderA[i])
+		}
+		seen[orderA[i]] = true
+	}
+}
+
+// applyOps drives a Map and a Go-map oracle with the same operation
+// stream decoded from data, and fails t on any observable divergence.
+// Each op is 9 bytes: kind byte + big-endian address.
+func applyOps(t *testing.T, data []byte) {
+	var m Map[uint64]
+	oracle := make(map[msg.Addr]uint64)
+	var order []msg.Addr // oracle for insertion-order iteration
+	var tick uint64
+	for len(data) >= 9 {
+		kind := data[0]
+		addr := msg.Addr(binary.BigEndian.Uint64(data[1:9]))
+		data = data[9:]
+		tick++
+		switch kind % 3 {
+		case 0: // insert or update
+			*m.Ptr(addr) = tick
+			if _, ok := oracle[addr]; !ok {
+				order = append(order, addr)
+			}
+			oracle[addr] = tick
+		case 1: // lookup
+			v, ok := m.Get(addr)
+			wv, wok := oracle[addr]
+			if ok != wok || v != wv {
+				t.Fatalf("Get(%#x) = %d, %v; oracle %d, %v", addr, v, ok, wv, wok)
+			}
+		case 2: // delete
+			got := m.Delete(addr)
+			_, want := oracle[addr]
+			if got != want {
+				t.Fatalf("Delete(%#x) = %v, oracle %v", addr, got, want)
+			}
+			if want {
+				delete(oracle, addr)
+				for i, a := range order {
+					if a == addr {
+						order = append(order[:i], order[i+1:]...)
+						break
+					}
+				}
+			}
+		}
+		if m.Len() != len(oracle) {
+			t.Fatalf("Len = %d, oracle %d", m.Len(), len(oracle))
+		}
+	}
+	var got []msg.Addr
+	m.ForEach(func(a msg.Addr, v *uint64) {
+		if *v != oracle[a] {
+			t.Fatalf("ForEach value for %#x: %d, oracle %d", a, *v, oracle[a])
+		}
+		got = append(got, a)
+	})
+	if len(got) != len(order) {
+		t.Fatalf("ForEach visited %d entries, oracle %d", len(got), len(order))
+	}
+	for i := range order {
+		if got[i] != order[i] {
+			t.Fatalf("iteration order at %d: %#x, oracle %#x", i, got[i], order[i])
+		}
+	}
+}
+
+// FuzzMapOracle cross-checks Map against a builtin-map oracle under an
+// arbitrary insert/lookup/delete stream, including the insertion-order
+// iteration contract.
+func FuzzMapOracle(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 64, 1, 0, 0, 0, 0, 0, 0, 0, 64})
+	seed := make([]byte, 0, 45*9)
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 45; i++ {
+		var op [9]byte
+		op[0] = byte(r.Intn(3))
+		// A tiny address space makes collisions, updates, and
+		// delete-then-reinsert common.
+		binary.BigEndian.PutUint64(op[1:], uint64(r.Intn(8))*64)
+		seed = append(seed, op[:]...)
+	}
+	f.Add(seed)
+	f.Fuzz(func(t *testing.T, data []byte) { applyOps(t, data) })
+}
+
+// TestMapOracleRandom runs the fuzz body over many seeded random
+// streams, so the oracle comparison is exercised thoroughly even when
+// 'go test' runs without fuzzing.
+func TestMapOracleRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(1234))
+	for round := 0; round < 50; round++ {
+		n := 1 + r.Intn(400)
+		data := make([]byte, n*9)
+		for i := 0; i < n; i++ {
+			data[i*9] = byte(r.Intn(3))
+			binary.BigEndian.PutUint64(data[i*9+1:], uint64(r.Intn(64))*64)
+		}
+		applyOps(t, data)
+	}
+}

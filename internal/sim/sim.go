@@ -6,7 +6,7 @@ package sim
 
 import (
 	"fmt"
-	"os"
+	"io"
 
 	"patch/internal/addrmap"
 	"patch/internal/cache"
@@ -64,7 +64,10 @@ type Config struct {
 
 	// Workload is one of workload.Names() or "micro". TraceFile, when
 	// set, overrides it: the reference stream is replayed from a
-	// recorded trace (see workload.Record / workload.ParseTrace).
+	// recorded trace in either supported format — the text format
+	// (workload.Record) is parsed whole, the binary format
+	// (workload.RecordBinary) is streamed in fixed per-core windows —
+	// distinguished by the binary magic header (workload.OpenTrace).
 	Workload  string
 	TraceFile string
 
@@ -189,6 +192,23 @@ type System struct {
 	// seen by the online observer (a core reading an older write version
 	// than one it already observed for the block).
 	orderViolation error
+
+	// closer releases the trace replay's file or mapping (streaming
+	// replays keep the trace open for the whole run); Run closes it.
+	closer io.Closer
+}
+
+// Close releases any resources held by the generator (a streaming trace
+// replay's open file or mapping). Run calls it automatically; it is
+// idempotent and only needed directly when an assembled System is
+// discarded without running.
+func (s *System) Close() error {
+	if s.closer == nil {
+		return nil
+	}
+	c := s.closer
+	s.closer = nil
+	return c.Close()
 }
 
 // AttachTracer wires a message tracer into the network's delivery hook
@@ -207,37 +227,40 @@ func (s *System) AttachTracer(tr *trace.Tracer) {
 func NewSystem(cfg Config) (*System, error) {
 	cfg = cfg.withDefaults()
 	var gen workload.Generator
+	var closer io.Closer
 	var err error
 	if cfg.TraceFile != "" {
-		f, ferr := os.Open(cfg.TraceFile)
-		if ferr != nil {
-			return nil, ferr
-		}
-		defer f.Close()
-		replay, perr := workload.ParseTrace(f, cfg.Cores)
-		if perr != nil {
-			return nil, perr
+		replay, rerr := workload.OpenTrace(cfg.TraceFile, cfg.Cores)
+		if rerr != nil {
+			return nil, rerr
 		}
 		if total := replay.Len(); cfg.WarmupOps+cfg.OpsPerCore > total {
+			replay.Close()
 			return nil, fmt.Errorf("sim: trace has %d ops/core, need %d warmup + %d measured",
 				total, cfg.WarmupOps, cfg.OpsPerCore)
 		}
-		gen = replay
+		gen, closer = replay, replay
 	} else {
 		gen, err = workload.Named(cfg.Workload, cfg.Cores, cfg.Seed)
 		if err != nil {
 			return nil, err
 		}
 	}
+	fail := func(err error) (*System, error) {
+		if closer != nil {
+			closer.Close()
+		}
+		return nil, err
+	}
 	eng := &event.Engine{}
 	net := interconnect.New(eng, cfg.Cores, cfg.Net)
 	env := protocol.DefaultEnv(eng, net, cfg.Cores)
 	enc := directory.Encoding{Cores: cfg.Cores, Coarseness: cfg.Coarseness}
 	if err := enc.Validate(); err != nil {
-		return nil, err
+		return fail(err)
 	}
 
-	s := &System{Cfg: cfg, Eng: eng, Net: net, Env: env, Gen: gen}
+	s := &System{Cfg: cfg, Eng: eng, Net: net, Env: env, Gen: gen, closer: closer}
 	if !cfg.SkipChecks {
 		s.storeCounts = new(addrmap.Map[uint64])
 		if cfg.Protocol == PATCH || cfg.Protocol == TokenB {
@@ -261,7 +284,7 @@ func NewSystem(cfg Config) (*System, error) {
 		case TokenB:
 			s.Nodes[i] = tokenb.New(id, env)
 		default:
-			return nil, fmt.Errorf("sim: unknown protocol %v", cfg.Protocol)
+			return fail(fmt.Errorf("sim: unknown protocol %v", cfg.Protocol))
 		}
 		n := s.Nodes[i]
 		if !cfg.SkipChecks {
@@ -409,8 +432,10 @@ func Run(cfg Config) (*Result, error) {
 	return s.Run()
 }
 
-// Run executes an assembled system.
+// Run executes an assembled system. It releases the trace replay's
+// resources (see Close) on return.
 func (s *System) Run() (*Result, error) {
+	defer s.Close()
 	s.start()
 	const chunk = 4 << 20
 	for {
@@ -426,6 +451,15 @@ func (s *System) Run() (*Result, error) {
 	if s.finished != s.Cfg.Cores {
 		return nil, fmt.Errorf("sim: deadlock: event queue empty with %d/%d cores finished (%s on %s)",
 			s.finished, s.Cfg.Cores, s.Cfg.Protocol, s.Cfg.Workload)
+	}
+	// A replayed trace must never have been driven past its recorded
+	// streams: NewSystem sizes the run to Len(), so any over-drive means
+	// repeated operations silently skewed the measurement. Checked even
+	// with SkipChecks — it invalidates the result, not just an invariant.
+	if rp, ok := s.Gen.(workload.Replay); ok {
+		if n := rp.Overdriven(); n > 0 {
+			return nil, fmt.Errorf("sim: trace over-driven: %d operations requested beyond the recorded streams", n)
+		}
 	}
 	if !s.Cfg.SkipChecks {
 		if err := s.CheckInvariants(); err != nil {

@@ -3,6 +3,8 @@ package sim
 import (
 	"os"
 	"path/filepath"
+	"reflect"
+	"strings"
 	"testing"
 
 	"patch/internal/predictor"
@@ -44,6 +46,98 @@ func TestTraceReplayMatchesGenerator(t *testing.T) {
 	}
 	if direct.Cycles != replayed.Cycles || direct.Misses != replayed.Misses || direct.LinkBytes != replayed.LinkBytes {
 		t.Fatalf("replay diverged: direct %+v vs replay %+v", direct, replayed)
+	}
+}
+
+// TestBinaryReplayMatchesTextGolden is the format-equivalence gate: the
+// same recorded workload, fed as text and as its binary conversion, must
+// produce bit-identical simulation results (cycles, misses, and the full
+// traffic breakdown), both equal to the direct generator run.
+func TestBinaryReplayMatchesTextGolden(t *testing.T) {
+	const cores, ops, warm = 8, 150, 150
+	gen, err := workload.Named("oltp", cores, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	textPath := filepath.Join(dir, "oltp.trace")
+	f, err := os.Create(textPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := workload.Record(f, gen, cores, ops+warm); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// Convert text -> binary the way cmd/tracecvt does.
+	tf, err := os.Open(textPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := workload.ParseTrace(tf, cores)
+	tf.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	binPath := filepath.Join(dir, "oltp.bin")
+	bf, err := os.Create(binPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := workload.WriteBinary(bf, parsed); err != nil {
+		t.Fatal(err)
+	}
+	bf.Close()
+
+	base := Config{
+		Protocol: PATCH, Policy: predictor.All, BestEffort: true,
+		Cores: cores, OpsPerCore: ops, WarmupOps: warm, Seed: 5,
+		Workload: "oltp",
+	}
+	run := func(traceFile string) *Result {
+		cfg := base
+		cfg.TraceFile = traceFile
+		r, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", traceFile, err)
+		}
+		r.Config = Config{} // only the outputs must match
+		return r
+	}
+	direct := run("")
+	text := run(textPath)
+	bin := run(binPath)
+	if !reflect.DeepEqual(direct, text) {
+		t.Errorf("text replay diverged from direct run:\n direct: %+v\n text:   %+v", direct, text)
+	}
+	if !reflect.DeepEqual(text, bin) {
+		t.Errorf("binary replay diverged from text replay:\n text:   %+v\n binary: %+v", text, bin)
+	}
+}
+
+// TestTraceOverdriveSurfaced drives a replay past its recorded streams
+// behind the simulator's back and checks Run refuses the result instead
+// of silently repeating operations.
+func TestTraceOverdriveSurfaced(t *testing.T) {
+	const cores, ops = 4, 20
+	gen, _ := workload.Named("micro", cores, 2)
+	path := filepath.Join(t.TempDir(), "od.trace")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := workload.Record(f, gen, cores, 2*ops); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	s, err := NewSystem(Config{Protocol: Directory, Cores: cores, OpsPerCore: ops, WarmupOps: ops, TraceFile: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Gen.Next(0) // a buggy caller bypassing the Len guard
+	if _, err := s.Run(); err == nil || !strings.Contains(err.Error(), "over-driven") {
+		t.Fatalf("over-driven replay not surfaced: %v", err)
 	}
 }
 

@@ -1,0 +1,328 @@
+package workload
+
+import (
+	"bytes"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"patch/internal/msg"
+)
+
+// writeTempBinary records g to a binary trace file and returns its path.
+func writeTempBinary(t testing.TB, g Generator, cores, ops int) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "trace.bin")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := RecordBinary(f, g, cores, ops); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestBinaryRoundTripMatchesText is the round-trip property test: for
+// several workloads, text-record -> parse -> WriteBinary -> stream must
+// be op-for-op identical to the text replay, at window sizes small
+// enough to force many refills on the pread path.
+func TestBinaryRoundTripMatchesText(t *testing.T) {
+	const cores, ops = 8, 400
+	for _, wl := range []string{"oltp", "ocean", "micro"} {
+		for _, window := range []int{64, 256, defaultWindow} {
+			g, err := Named(wl, cores, 42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var text bytes.Buffer
+			if err := Record(&text, g, cores, ops); err != nil {
+				t.Fatal(err)
+			}
+			parsed, err := ParseTrace(bytes.NewReader(text.Bytes()), cores)
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join(t.TempDir(), "rt.bin")
+			f, err := os.Create(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := WriteBinary(f, parsed); err != nil {
+				t.Fatal(err)
+			}
+			f.Close()
+
+			// Stream through the pread path (no mmap) to exercise the
+			// windowed refills at the chosen size.
+			file, err := os.Open(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fi, _ := file.Stat()
+			stream, err := NewStreamReplay(file, fi.Size(), cores)
+			if err != nil {
+				t.Fatal(err)
+			}
+			stream.window = window
+			want, err := ParseTrace(bytes.NewReader(text.Bytes()), cores)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if stream.Len() != want.Len() {
+				t.Fatalf("%s window %d: Len %d, want %d", wl, window, stream.Len(), want.Len())
+			}
+			for i := 0; i < ops; i++ {
+				for c := 0; c < cores; c++ {
+					w, g := want.Next(c), stream.Next(c)
+					if w != g {
+						t.Fatalf("%s window %d: op %d core %d: got %+v want %+v", wl, window, i, c, g, w)
+					}
+				}
+			}
+			file.Close()
+		}
+	}
+}
+
+// TestBinaryMmapPathMatchesText covers OpenBinaryTrace (the mmap fast
+// path on linux) end to end, including extreme address deltas the
+// zigzag encoding must survive.
+func TestBinaryMmapPathMatchesText(t *testing.T) {
+	const cores = 2
+	ops := []Op{
+		{Addr: 0, Write: false, Think: 0},
+		{Addr: msg.Addr(uint64(0xFFFF_FFFF_FFFF_FFC0)), Write: true, Think: 3}, // huge positive delta
+		{Addr: msg.Addr(BlockSize), Write: false, Think: 1 << 40},              // huge negative delta
+		{Addr: msg.Addr(5 << 36), Write: true, Think: 7},
+	}
+	tr := &TraceReplay{name: "trace", streams: [][]Op{ops, ops[:2]}, pos: make([]int, cores)}
+	path := filepath.Join(t.TempDir(), "edge.bin")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBinary(f, tr); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s, err := OpenBinaryTrace(path, cores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.Len() != 2 || s.CoreLen(0) != 4 || s.CoreLen(1) != 2 {
+		t.Fatalf("lengths: Len=%d CoreLen=%d,%d", s.Len(), s.CoreLen(0), s.CoreLen(1))
+	}
+	for i, want := range ops {
+		if got := s.Next(0); got != want {
+			t.Fatalf("op %d: got %+v want %+v", i, got, want)
+		}
+	}
+}
+
+func TestOpenTraceDetectsFormat(t *testing.T) {
+	const cores, ops = 4, 30
+	dir := t.TempDir()
+
+	g, _ := Named("jbb", cores, 9)
+	textPath := filepath.Join(dir, "t.trace")
+	tf, err := os.Create(textPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Record(tf, g, cores, ops); err != nil {
+		t.Fatal(err)
+	}
+	tf.Close()
+
+	g2, _ := Named("jbb", cores, 9)
+	binPath := writeTempBinary(t, g2, cores, ops)
+
+	text, err := OpenTrace(textPath, cores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer text.Close()
+	bin, err := OpenTrace(binPath, cores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bin.Close()
+	if _, ok := text.(*TraceReplay); !ok {
+		t.Fatalf("text trace opened as %T", text)
+	}
+	if _, ok := bin.(*StreamReplay); !ok {
+		t.Fatalf("binary trace opened as %T", bin)
+	}
+	for i := 0; i < ops; i++ {
+		for c := 0; c < cores; c++ {
+			w, g := text.Next(c), bin.Next(c)
+			if w != g {
+				t.Fatalf("op %d core %d: text %+v binary %+v", i, c, w, g)
+			}
+		}
+	}
+}
+
+func TestStreamReplayOverdrive(t *testing.T) {
+	g, _ := Named("micro", 2, 3)
+	path := writeTempBinary(t, g, 2, 5)
+	s, err := OpenBinaryTrace(path, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 5; i++ {
+		s.Next(0)
+	}
+	last := s.Next(0)
+	if s.Overdriven() != 1 {
+		t.Fatalf("Overdriven = %d, want 1", s.Overdriven())
+	}
+	if again := s.Next(0); again != last {
+		t.Fatalf("over-driven ops differ: %+v vs %+v", again, last)
+	}
+	if s.Overdriven() != 2 {
+		t.Fatalf("Overdriven = %d, want 2", s.Overdriven())
+	}
+}
+
+func TestBinaryHeaderValidation(t *testing.T) {
+	g, _ := Named("micro", 2, 1)
+	path := writeTempBinary(t, g, 2, 4)
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	open := func(data []byte, n int) error {
+		_, err := NewStreamReplay(bytes.NewReader(data), int64(len(data)), n)
+		return err
+	}
+	if err := open(good, 2); err != nil {
+		t.Fatalf("good trace rejected: %v", err)
+	}
+	if err := open(good, 4); err == nil || !strings.Contains(err.Error(), "cores") {
+		t.Errorf("core-count mismatch accepted: %v", err)
+	}
+	if err := open(good[:6], 2); err == nil {
+		t.Error("truncated header accepted")
+	}
+	if err := open(good[:binaryHeaderLen+8], 2); err == nil {
+		t.Error("truncated index accepted")
+	}
+
+	bad := append([]byte(nil), good...)
+	bad[0] = 'X'
+	if err := open(bad, 2); err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Errorf("bad magic accepted: %v", err)
+	}
+
+	bad = append([]byte(nil), good...)
+	bad[4] = 99
+	if err := open(bad, 2); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Errorf("bad version accepted: %v", err)
+	}
+
+	// Segment pointing past EOF.
+	bad = append([]byte(nil), good...)
+	binary.LittleEndian.PutUint64(bad[binaryHeaderLen+8:], 1<<40)
+	if err := open(bad, 2); err == nil || !strings.Contains(err.Error(), "segment") {
+		t.Errorf("out-of-range segment accepted: %v", err)
+	}
+
+	// Empty core stream.
+	bad = append([]byte(nil), good...)
+	binary.LittleEndian.PutUint64(bad[binaryHeaderLen+16:], 0)
+	if err := open(bad, 2); err == nil || !strings.Contains(err.Error(), "no operations") {
+		t.Errorf("empty core stream accepted: %v", err)
+	}
+}
+
+// TestStreamReplayStartupAllocsBounded is the O(window)-not-O(trace)
+// guarantee: opening a trace 16x larger must not allocate more.
+func TestStreamReplayStartupAllocsBounded(t *testing.T) {
+	const cores = 4
+	startupAllocs := func(ops int) float64 {
+		g, _ := Named("micro", cores, 3)
+		path := writeTempBinary(t, g, cores, ops)
+		return testing.AllocsPerRun(5, func() {
+			s, err := OpenBinaryTrace(path, cores)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for c := 0; c < cores; c++ {
+				s.Next(c)
+			}
+			s.Close()
+		})
+	}
+	small, large := startupAllocs(500), startupAllocs(8000)
+	if large > small {
+		t.Errorf("startup allocs grew with trace size: %v (500 ops) -> %v (8000 ops)", small, large)
+	}
+}
+
+// BenchmarkTraceReplay compares replay startup (open + first op per
+// core) for the text parser, which materializes the whole trace, against
+// the binary streamer, which reads per-core windows on demand.
+func BenchmarkTraceReplay(b *testing.B) {
+	const cores, ops = 16, 5000
+	dir := b.TempDir()
+
+	g, _ := Named("oltp", cores, 1)
+	textPath := filepath.Join(dir, "bench.trace")
+	tf, err := os.Create(textPath)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := Record(tf, g, cores, ops); err != nil {
+		b.Fatal(err)
+	}
+	tf.Close()
+
+	g2, _ := Named("oltp", cores, 1)
+	binPath := filepath.Join(dir, "bench.bin")
+	bf, err := os.Create(binPath)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := RecordBinary(bf, g2, cores, ops); err != nil {
+		b.Fatal(err)
+	}
+	bf.Close()
+
+	b.Run("text-parse", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			r, err := OpenTrace(textPath, cores)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for c := 0; c < cores; c++ {
+				r.Next(c)
+			}
+			r.Close()
+		}
+	})
+	b.Run("binary-stream", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			r, err := OpenTrace(binPath, cores)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for c := 0; c < cores; c++ {
+				r.Next(c)
+			}
+			r.Close()
+		}
+	})
+}

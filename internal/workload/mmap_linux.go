@@ -1,0 +1,56 @@
+//go:build linux
+
+package workload
+
+import (
+	"io"
+	"os"
+	"syscall"
+)
+
+// mmapSource is a read-only memory mapping of a binary trace file. It
+// serves ReadAt from the mapping and offers the zero-copy byteSlicer
+// fast path, so streaming replay touches only the pages it decodes.
+type mmapSource struct{ data []byte }
+
+func (m *mmapSource) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 || off > int64(len(m.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, m.data[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func (m *mmapSource) slice(off, n int64) []byte { return m.data[off : off+n] }
+
+func (m *mmapSource) Close() error {
+	data := m.data
+	m.data = nil
+	return syscall.Munmap(data)
+}
+
+// openReaderAt opens path for random access, mmapping it read-only when
+// possible and falling back to pread on the open file otherwise.
+func openReaderAt(path string) (io.ReaderAt, io.Closer, int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, nil, 0, err
+	}
+	size := fi.Size()
+	if size > 0 && int64(int(size)) == size {
+		if data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED); err == nil {
+			f.Close()
+			m := &mmapSource{data: data}
+			return m, m, size, nil
+		}
+	}
+	return f, f, size, nil
+}

@@ -1,0 +1,23 @@
+//go:build !linux
+
+package workload
+
+import (
+	"io"
+	"os"
+)
+
+// openReaderAt opens path for random access. Without the linux mmap
+// fast path, streaming replay reads buffered pread windows.
+func openReaderAt(path string) (io.ReaderAt, io.Closer, int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, nil, 0, err
+	}
+	return f, f, fi.Size(), nil
+}

@@ -38,12 +38,13 @@ func Record(w io.Writer, g Generator, cores, opsPerCore int) error {
 
 // TraceReplay replays a previously recorded trace. Each core's stream is
 // replayed in recorded order; a core that exhausts its stream repeats
-// its last operation (harmless for fixed-length runs sized to the
-// trace).
+// its last operation and counts the over-drive (see Overdriven), so a
+// caller that bypasses the Len guard cannot silently skew results.
 type TraceReplay struct {
-	name    string
-	streams [][]Op
-	pos     []int
+	name       string
+	streams    [][]Op
+	pos        []int
+	overdriven uint64
 }
 
 // ParseTrace reads a trace for n cores.
@@ -62,10 +63,14 @@ func ParseTrace(r io.Reader, n int) (*TraceReplay, error) {
 		if len(fields) != 4 {
 			return nil, fmt.Errorf("workload: trace line %d: want 4 fields, got %d", lineNo, len(fields))
 		}
-		core, err := strconv.Atoi(fields[0])
-		if err != nil || core < 0 || core >= n {
+		// ParseUint (not Atoi) for core and think: the fields are
+		// unsigned decimal, and signed spellings like "+3" or "-0" must
+		// be rejected, not normalised.
+		core64, err := strconv.ParseUint(fields[0], 10, 32)
+		if err != nil || core64 >= uint64(n) {
 			return nil, fmt.Errorf("workload: trace line %d: bad core %q", lineNo, fields[0])
 		}
+		core := int(core64)
 		var write bool
 		switch fields[1] {
 		case "R":
@@ -81,14 +86,14 @@ func ParseTrace(r io.Reader, n int) (*TraceReplay, error) {
 		if addr%BlockSize != 0 {
 			return nil, fmt.Errorf("workload: trace line %d: address %#x not block aligned", lineNo, addr)
 		}
-		think, err := strconv.Atoi(fields[3])
-		if err != nil || think < 0 {
+		think, err := strconv.ParseUint(fields[3], 10, 62)
+		if err != nil {
 			return nil, fmt.Errorf("workload: trace line %d: bad think time %q", lineNo, fields[3])
 		}
-		t.streams[core] = append(t.streams[core], Op{Addr: msg.Addr(addr), Write: write, Think: think})
+		t.streams[core] = append(t.streams[core], Op{Addr: msg.Addr(addr), Write: write, Think: int(think)})
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("workload: reading trace after line %d: %w", lineNo, err)
 	}
 	for c, s := range t.streams {
 		if len(s) == 0 {
@@ -112,12 +117,24 @@ func (t *TraceReplay) Len() int {
 	return n
 }
 
+// CoreLen returns the recorded length of one core's stream.
+func (t *TraceReplay) CoreLen(core int) int { return len(t.streams[core]) }
+
+// Overdriven counts Next calls made after a core's stream was already
+// exhausted. Each such call returned a repeat of the core's last
+// operation; the simulator refuses results from an over-driven replay.
+func (t *TraceReplay) Overdriven() uint64 { return t.overdriven }
+
+// Close implements Replay; a parsed text trace holds no resources.
+func (t *TraceReplay) Close() error { return nil }
+
 // Next implements Generator.
 func (t *TraceReplay) Next(core int) Op {
 	s := t.streams[core]
 	i := t.pos[core]
 	if i >= len(s) {
-		i = len(s) - 1 // repeat the last op if over-driven
+		i = len(s) - 1 // repeat the last op, but account for the over-drive
+		t.overdriven++
 	} else {
 		t.pos[core]++
 	}

@@ -56,10 +56,14 @@ func TestParseTraceErrors(t *testing.T) {
 		{"short line", "0 R 1000\n"},
 		{"bad core", "9 R 1000 0\n"},
 		{"negative core", "-1 R 1000 0\n"},
+		{"signed core", "+1 R 1000 0\n"},
 		{"bad kind", "0 X 1000 0\n"},
 		{"bad addr", "0 R zzzz 0\n"},
+		{"signed addr", "0 R +1000 0\n"},
 		{"unaligned", "0 R 1004 0\n"},
 		{"bad think", "0 R 1000 -3\n"},
+		{"signed think", "0 R 1000 +3\n"},
+		{"negative zero think", "0 R 1000 -0\n"},
 		{"empty core stream", "0 R 1000 0\n"}, // core 1 has nothing
 	}
 	for _, c := range cases {
@@ -75,8 +79,32 @@ func TestReplayOverdrive(t *testing.T) {
 		t.Fatal(err)
 	}
 	first := tr.Next(0)
-	again := tr.Next(0) // stream exhausted: repeats
+	if tr.Overdriven() != 0 {
+		t.Fatalf("Overdriven = %d before exhaustion", tr.Overdriven())
+	}
+	again := tr.Next(0) // stream exhausted: repeats, but is counted
 	if first != again {
 		t.Fatal("over-driven replay should repeat the last op")
+	}
+	if tr.Overdriven() != 1 {
+		t.Fatalf("Overdriven = %d, want 1", tr.Overdriven())
+	}
+	tr.Next(1)
+	if tr.Overdriven() != 1 {
+		t.Fatalf("in-range Next bumped Overdriven to %d", tr.Overdriven())
+	}
+}
+
+// TestParseTraceScannerErrorWrapped drives the scanner past its buffer
+// limit and checks the failure carries the workload prefix and line
+// context rather than a bare bufio error.
+func TestParseTraceScannerErrorWrapped(t *testing.T) {
+	in := "0 R 1000 1\n1 W 1040 0\n# " + strings.Repeat("x", 2<<20) + "\n"
+	_, err := ParseTrace(strings.NewReader(in), 2)
+	if err == nil {
+		t.Fatal("oversized line accepted")
+	}
+	if !strings.Contains(err.Error(), "workload: reading trace after line 2") {
+		t.Fatalf("scanner error not wrapped with context: %v", err)
 	}
 }

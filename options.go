@@ -56,7 +56,9 @@ func WithCores(n int) Option { return func(c *Config) { c.Cores = n } }
 func WithWorkload(name string) Option { return func(c *Config) { c.Workload = name } }
 
 // WithTraceFile replays a recorded reference trace instead of a named
-// workload.
+// workload. Text and binary traces are both accepted and detected by
+// their content (see Config.TraceFile): binary traces stream in
+// fixed-size windows, text traces load whole.
 func WithTraceFile(path string) Option { return func(c *Config) { c.TraceFile = path } }
 
 // WithOps sets the measured operations per core.

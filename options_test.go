@@ -80,6 +80,8 @@ func TestValidationErrors(t *testing.T) {
 		{"negative bandwidth", []Option{WithBandwidth(-5)}, ErrBadBandwidth},
 		{"bandwidth conflict", []Option{WithBandwidth(2000), WithUnboundedBandwidth()}, ErrBandwidthConflict},
 		{"negative tenure factor", []Option{WithTenureTimeoutFactor(-1)}, ErrBadTenureFactor},
+		{"missing trace file", []Option{WithTraceFile("/nonexistent/run.trace")}, ErrBadTraceFile},
+		{"trace file is a directory", []Option{WithTraceFile(".")}, ErrBadTraceFile},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -106,6 +106,15 @@ type Config struct {
 	// Workload names a built-in generator ("jbb", "oltp", "apache",
 	// "barnes", "ocean", "micro"); TraceFile, when set, replays a
 	// recorded reference trace instead.
+	//
+	// The trace may be in either recorded format — the line-oriented
+	// text format (patchsim -record) or the compact binary format
+	// (patchsim -record-binary, cmd/tracecvt) — distinguished
+	// automatically by the binary magic header. Binary traces are
+	// streamed in fixed-size per-core windows (mmap-backed on linux),
+	// so multi-GB replays open at near-zero resident cost; text traces
+	// are parsed into memory whole. Validate only checks the file
+	// exists; format and content errors surface when the run opens it.
 	Workload   string
 	TraceFile  string
 	OpsPerCore int

@@ -3,6 +3,7 @@ package patch
 import (
 	"errors"
 	"fmt"
+	"os"
 
 	"patch/internal/workload"
 )
@@ -38,6 +39,10 @@ var (
 	ErrBandwidthConflict = errors.New("unbounded bandwidth conflicts with an explicit link bandwidth")
 	// ErrBadTenureFactor reports a negative tenure-timeout factor.
 	ErrBadTenureFactor = errors.New("tenure timeout factor must be non-negative")
+	// ErrBadTraceFile reports a TraceFile that does not exist or is not a
+	// regular file. The trace's format (text vs binary) and contents are
+	// checked when the simulator opens it, not here.
+	ErrBadTraceFile = errors.New("trace file not readable")
 )
 
 // Validate checks the configuration against the simulator's actual
@@ -60,6 +65,19 @@ func (c Config) Validate() error {
 	}
 	if c.TraceFile == "" && c.Workload != "" && !knownWorkload(c.Workload) {
 		return fmt.Errorf("patch: %w: %q (have %v and \"micro\")", ErrUnknownWorkload, c.Workload, workload.Names())
+	}
+	if c.TraceFile != "" {
+		// The one stat-call exception to "no building": a missing trace
+		// fails here as a typed error rather than mid-sweep, and the
+		// contract is format-agnostic — text or binary, the simulator
+		// detects which by the magic header when it opens the file.
+		fi, err := os.Stat(c.TraceFile)
+		if err != nil {
+			return fmt.Errorf("patch: %w: %v", ErrBadTraceFile, err)
+		}
+		if !fi.Mode().IsRegular() {
+			return fmt.Errorf("patch: %w: %s is not a regular file", ErrBadTraceFile, c.TraceFile)
+		}
 	}
 	if k := c.DirectoryCoarseness; k != 0 {
 		if k < 0 || k > cores || cores%k != 0 {
