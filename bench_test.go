@@ -276,3 +276,28 @@ func BenchmarkSweep(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkReplicaSharding isolates the scheduler case BenchmarkSweep's
+// many-cell grid cannot: a single cell whose only parallelism is its
+// seed replicas. Under cell-granular scheduling the workers1/workers4
+// ratio was 1x by construction; under replica sharding it approaches
+// min(4, GOMAXPROCS).
+func BenchmarkReplicaSharding(b *testing.B) {
+	m := Matrix{
+		Base: Config{
+			Protocol: PATCH, Variant: VariantAll,
+			Cores: benchCores, OpsPerCore: 150, WarmupOps: 300,
+			Workload: "oltp", Seed: 1, SkipChecks: true,
+		},
+		Seeds: 8,
+	}
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Sweep(context.Background(), m, Workers(workers)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

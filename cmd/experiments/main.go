@@ -22,6 +22,7 @@ import (
 	"os"
 	"time"
 
+	"patch"
 	"patch/internal/experiments"
 )
 
@@ -56,9 +57,10 @@ func main() {
 	}
 	sc.Workers = *workers
 	if *progress {
-		sc.Progress = func(done, total int) {
-			fmt.Fprintf(os.Stderr, "\r%d/%d runs", done, total)
-			if done == total {
+		sc.Progress = func(p patch.Progress) {
+			fmt.Fprintf(os.Stderr, "\r%d/%d runs (cell %d/%d %s, replica %d/%d)   ",
+				p.Done, p.Total, p.Cell+1, p.Cells, p.Label, p.CellDone, p.CellTotal)
+			if p.Done == p.Total {
 				fmt.Fprintln(os.Stderr)
 			}
 		}

@@ -6,10 +6,11 @@
 //
 //	patchsim -protocol patch -variant all -workload oltp -cores 64
 //	patchsim -protocol directory -workload micro -cores 128 -coarseness 16
-//	patchsim -protocol tokenb -workload barnes -seeds 5
+//	patchsim -protocol tokenb -workload barnes -seeds 5 -workers 4
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -31,6 +32,7 @@ func main() {
 	warmup := flag.Int("warmup", 0, "warmup operations per core (0: same as ops)")
 	seed := flag.Int64("seed", 1, "random seed")
 	seeds := flag.Int("seeds", 1, "number of perturbed runs")
+	workers := flag.Int("workers", 0, "worker pool for -seeds batches (0: GOMAXPROCS)")
 	bandwidth := flag.Int("bandwidth", 0, "link bandwidth in bytes/1000 cycles (0: 16 B/cycle)")
 	unbounded := flag.Bool("unbounded", false, "disable link bandwidth modelling")
 	coarseness := flag.Int("coarseness", 1, "sharer-encoding coarseness K (1 = full map)")
@@ -111,7 +113,9 @@ func main() {
 	}
 
 	if *seeds > 1 {
-		s, err := patch.RunSeeds(cfg, *seeds)
+		// The seed batch is one replica-sharded sweep cell, so the
+		// perturbed runs spread across the worker pool.
+		s, err := patch.RunSeedsContext(context.Background(), cfg, *seeds, patch.Workers(*workers))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)

@@ -168,6 +168,12 @@ func writeText(w io.Writer, src string, replay workload.Replay, n int) error {
 			}
 			fmt.Fprintf(bw, "%d %s %x %d\n", c, kind, uint64(op.Addr), op.Think)
 		}
+		// A decode failure poisons the replay into serving repeats of
+		// the last good op; converting those would silently fabricate
+		// trace content.
+		if err := replay.Err(); err != nil {
+			return err
+		}
 	}
 	return bw.Flush()
 }
@@ -196,6 +202,11 @@ func printStats(w io.Writer, path string, isBinary bool, replay workload.Replay,
 			}
 			thinkSum += uint64(op.Think)
 			blocks.Ptr(op.Addr)
+		}
+		// Statistics over a poisoned stream would count repeats of the
+		// last good op as real records.
+		if err := replay.Err(); err != nil {
+			return err
 		}
 	}
 	format := "text"

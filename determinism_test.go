@@ -3,6 +3,7 @@ package patch
 import (
 	"bytes"
 	"context"
+	"runtime"
 	"testing"
 )
 
@@ -38,5 +39,46 @@ func TestSweepCSVByteIdentical(t *testing.T) {
 	}
 	if par := run(4); !bytes.Equal(first, par) {
 		t.Errorf("workers=4 diverged from sequential:\n--- sequential\n%s\n--- parallel\n%s", first, par)
+	}
+}
+
+// TestReplicaShardingByteIdentical is the determinism gate for the
+// replica-sharded scheduler, and doubles as its race stress under the
+// CI -race job. The matrix is a single cell with Seeds=8, so every bit
+// of parallelism comes from replica sharding — the case the cell-lockstep
+// engine used to serialise — and all eight replicas funnel into one
+// position-indexed reduce concurrently. CSV output must stay
+// byte-identical across worker counts (1, 4, 8, GOMAXPROCS) and across
+// repeated runs, regardless of replica completion order.
+func TestReplicaShardingByteIdentical(t *testing.T) {
+	m := Matrix{
+		Base: Config{
+			Cores: 8, OpsPerCore: 100, WarmupOps: 100,
+			Workload: "oltp", Seed: 3, SkipChecks: true,
+		},
+		Seeds: 8,
+	}
+	if n := m.NumReplicas(); n != 8 {
+		t.Fatalf("NumReplicas = %d, want 8", n)
+	}
+	run := func(workers int) []byte {
+		t.Helper()
+		var buf bytes.Buffer
+		if _, err := Sweep(context.Background(), m, Workers(workers), EmitTo(&CSVEmitter{W: &buf})); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return buf.Bytes()
+	}
+	ref := run(1)
+	if len(ref) == 0 {
+		t.Fatal("empty CSV output")
+	}
+	if again := run(1); !bytes.Equal(ref, again) {
+		t.Errorf("repeat sequential run diverged:\n--- first\n%s\n--- second\n%s", ref, again)
+	}
+	for _, workers := range []int{4, 8, runtime.GOMAXPROCS(0)} {
+		if out := run(workers); !bytes.Equal(ref, out) {
+			t.Errorf("workers=%d diverged from sequential:\n--- sequential\n%s\n--- parallel\n%s", workers, ref, out)
+		}
 	}
 }

@@ -29,10 +29,13 @@ type Scale struct {
 	SkipCheck bool
 
 	// Workers bounds the sweep worker pool; 0 selects GOMAXPROCS.
+	// Scheduling is replica-granular, so a figure dominated by one
+	// large cell (e.g. Figure 8's 512-core column) still fills the
+	// pool with its seed replicas.
 	Workers int
-	// Progress, when set, is invoked after every completed run with
-	// (done, total) counts.
-	Progress func(done, total int)
+	// Progress, when set, is invoked after every completed replica
+	// with sweep-wide and per-cell counts.
+	Progress func(patch.Progress)
 }
 
 // DefaultScale is sized to finish the full suite in minutes on a laptop

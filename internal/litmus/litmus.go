@@ -61,6 +61,55 @@ func Random(r *rand.Rand, cores, blocks, n int) Script {
 	return s
 }
 
+// GenConfig shapes Generate's randomized scripts. Zero values select
+// contention-biased defaults (4 cores, 2 blocks, write fraction 1/3,
+// delays up to 30 cycles).
+type GenConfig struct {
+	Cores  int // script cores are drawn from [0, Cores); 0 selects 4
+	Blocks int // contended block-set size; 0 selects 2
+	Ops    int // script length; 0 selects 24
+	// WriteFrac is the store fraction in (0, 1]; 0 selects 1/3,
+	// Random's contention-biased default.
+	WriteFrac float64
+	// MaxDelay bounds each op's issue delay after its predecessor on
+	// the same core; 0 selects 30 cycles.
+	MaxDelay int
+}
+
+// Generate builds a reproducible randomized script: the same seed and
+// configuration always produce the same script, so a failing
+// conformance-matrix entry can be replayed from its seed alone.
+func Generate(seed int64, cfg GenConfig) Script {
+	r := rand.New(rand.NewSource(seed))
+	if cfg.Cores <= 0 {
+		cfg.Cores = 4
+	}
+	if cfg.Blocks <= 0 {
+		cfg.Blocks = 2
+	}
+	if cfg.Ops <= 0 {
+		cfg.Ops = 24
+	}
+	writeFrac := cfg.WriteFrac
+	if writeFrac <= 0 {
+		writeFrac = 1.0 / 3
+	}
+	maxDelay := cfg.MaxDelay
+	if maxDelay <= 0 {
+		maxDelay = 30
+	}
+	s := make(Script, cfg.Ops)
+	for i := range s {
+		s[i] = Op{
+			Core:  r.Intn(cfg.Cores),
+			Block: r.Intn(cfg.Blocks),
+			Write: r.Float64() < writeFrac,
+			Delay: r.Intn(maxDelay),
+		}
+	}
+	return s
+}
+
 // Protocol selects the protocol variant to run a script under.
 type Protocol int
 
@@ -270,6 +319,15 @@ func verifyAxioms(p Protocol, script Script, out *Outcome) error {
 	for b, want := range writes {
 		if got := out.FinalVersions[b]; got != want {
 			return fmt.Errorf("litmus: %v: block %d final version %d, %d stores", p, b, got, want)
+		}
+	}
+	// No observation may exceed the block's store count: versions are
+	// produced only by stores, so anything larger is a fabricated
+	// write surfacing through the protocol.
+	for i, op := range script {
+		if v := out.Observations[i].Version; v > writes[op.Block] {
+			return fmt.Errorf("litmus: %v: op %d observed version %d on block %d with only %d stores",
+				p, i, v, op.Block, writes[op.Block])
 		}
 	}
 	return nil

@@ -457,6 +457,12 @@ func (s *System) Run() (*Result, error) {
 	// repeated operations silently skewed the measurement. Checked even
 	// with SkipChecks — it invalidates the result, not just an invariant.
 	if rp, ok := s.Gen.(workload.Replay); ok {
+		// A decode failure mid-stream poisoned the replay (the reader
+		// has no per-Next error path), so the ops fed after it were
+		// repeats, not the trace. Checked even with SkipChecks.
+		if err := rp.Err(); err != nil {
+			return nil, fmt.Errorf("sim: trace replay failed: %w", err)
+		}
 		if n := rp.Overdriven(); n > 0 {
 			return nil, fmt.Errorf("sim: trace over-driven: %d operations requested beyond the recorded streams", n)
 		}

@@ -32,6 +32,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 
 	"patch/internal/msg"
 )
@@ -70,6 +71,11 @@ type Replay interface {
 	// Overdriven counts Next calls made after a core's stream was
 	// exhausted (each returned a repeat of the core's last operation).
 	Overdriven() uint64
+	// Err reports a decode failure encountered while streaming.
+	// Generator.Next has no error path, so a replay that hits corrupt
+	// data poisons itself — the stream reads as exhausted — and the
+	// failure surfaces here; the simulator refuses the run's result.
+	Err() error
 	Close() error
 }
 
@@ -235,6 +241,7 @@ type StreamReplay struct {
 	minOps     int
 	window     int
 	overdriven uint64
+	err        error // first decode failure; see Err
 }
 
 // OpenBinaryTrace opens a binary trace file for n cores (0 accepts the
@@ -289,6 +296,7 @@ func NewStreamReplay(r io.ReaderAt, size int64, n int) (*StreamReplay, error) {
 		window:  defaultWindow,
 	}
 	headerLen := int64(binaryHeaderLen + binaryIndexEntry*cores)
+	spans := make([][2]uint64, 0, cores)
 	for c := range s.cores {
 		e := idx[binaryIndexEntry*c:]
 		off := binary.LittleEndian.Uint64(e[0:8])
@@ -301,12 +309,32 @@ func NewStreamReplay(r io.ReaderAt, size int64, n int) (*StreamReplay, error) {
 			return nil, fmt.Errorf("workload: binary trace: core %d segment [%d, %d) outside file of %d bytes",
 				c, off, off+bytes, size)
 		}
+		// A record is at least two bytes (one varint each for delta and
+		// think/write), so an ops count beyond bytes/2 is a lie — and,
+		// unchecked, a four-byte-costs-you-16-EiB amplification for
+		// anything that sizes buffers or loops off the claimed count.
+		if ops > bytes/2 {
+			return nil, fmt.Errorf("workload: binary trace: core %d claims %d ops in a %d-byte segment (minimum 2 bytes per record)",
+				c, ops, bytes)
+		}
 		cur := &s.cores[c]
 		cur.off, cur.end = int64(off), int64(off+bytes)
 		cur.remaining = ops
 		s.coreOps[c] = ops
+		spans = append(spans, [2]uint64{off, off + bytes})
 		if s.minOps == 0 || int(ops) < s.minOps {
 			s.minOps = int(ops)
+		}
+	}
+	// Segments must be pairwise disjoint (the format writes them back
+	// to back). Overlap is how a small hostile file claims a large
+	// total op count — every byte billed to several cores — which the
+	// per-segment bound alone cannot see.
+	sort.Slice(spans, func(i, j int) bool { return spans[i][0] < spans[j][0] })
+	for i := 1; i < len(spans); i++ {
+		if spans[i][0] < spans[i-1][1] {
+			return nil, fmt.Errorf("workload: binary trace: core segments [%d, %d) and [%d, %d) overlap",
+				spans[i-1][0], spans[i-1][1], spans[i][0], spans[i][1])
 		}
 	}
 	// With an mmapped source, decode straight from the mapping: the
@@ -339,6 +367,11 @@ func (s *StreamReplay) Cores() int { return len(s.cores) }
 // Overdriven implements Replay.
 func (s *StreamReplay) Overdriven() uint64 { return s.overdriven }
 
+// Err implements Replay: it reports the first decode failure (corrupt
+// varint, truncated segment, failed read) encountered by Next. The
+// failing core's stream reads as exhausted from that point on.
+func (s *StreamReplay) Err() error { return s.err }
+
 // Close releases the underlying file or mapping (if the replay owns
 // one). The replay must not be driven afterwards.
 func (s *StreamReplay) Close() error {
@@ -351,8 +384,12 @@ func (s *StreamReplay) Close() error {
 }
 
 // Next implements Generator. A corrupt segment (a record that does not
-// decode) panics: Generator has no error path, and corruption past the
-// validated header is unrecoverable.
+// decode, or a read failure mid-stream) poisons the replay instead of
+// panicking: Generator has no error path, so the failing core's stream
+// reads as exhausted, the failure is retained for Err, and the
+// simulator refuses the run's result. Hostile trace files must never
+// crash, hang, or balloon the process (windows are fixed-size; the
+// claimed op counts are bounds-checked against segment bytes at open).
 func (s *StreamReplay) Next(core int) Op {
 	c := &s.cores[core]
 	if c.remaining == 0 {
@@ -360,16 +397,18 @@ func (s *StreamReplay) Next(core int) Op {
 		return c.last
 	}
 	if len(c.buf)-c.pos < maxRecordBytes && c.off < c.end {
-		s.refill(c)
+		if err := s.refill(c); err != nil {
+			return s.corrupt(c, fmt.Errorf("workload: binary trace read failed for core %d: %w", core, err))
+		}
 	}
 	delta, n := binary.Varint(c.buf[c.pos:])
 	if n <= 0 {
-		panic(fmt.Sprintf("workload: corrupt binary trace: bad address delta for core %d", core))
+		return s.corrupt(c, fmt.Errorf("workload: corrupt binary trace: bad address delta for core %d", core))
 	}
 	c.pos += n
 	tw, n := binary.Uvarint(c.buf[c.pos:])
 	if n <= 0 {
-		panic(fmt.Sprintf("workload: corrupt binary trace: bad think field for core %d", core))
+		return s.corrupt(c, fmt.Errorf("workload: corrupt binary trace: bad think field for core %d", core))
 	}
 	c.pos += n
 	c.prevBlock += uint64(delta)
@@ -378,9 +417,21 @@ func (s *StreamReplay) Next(core int) Op {
 	return c.last
 }
 
+// corrupt records the first decode failure and retires the core's
+// stream, so a replay over a damaged trace cannot spin on the bad
+// record or walk past it into garbage.
+func (s *StreamReplay) corrupt(c *coreCursor, err error) Op {
+	if s.err == nil {
+		s.err = err
+	}
+	c.remaining = 0
+	return c.last
+}
+
 // refill slides the window: unconsumed bytes move to the front and the
-// rest is read from the segment via pread.
-func (s *StreamReplay) refill(c *coreCursor) {
+// rest is read from the segment via pread. The window never grows — a
+// record that does not fit in it is a decode error, not a resize.
+func (s *StreamReplay) refill(c *coreCursor) error {
 	if c.buf == nil {
 		c.buf = make([]byte, 0, s.window)
 	}
@@ -394,7 +445,11 @@ func (s *StreamReplay) refill(c *coreCursor) {
 	// ReadAt reads len(p) bytes or fails; exactly-at-EOF reads may
 	// report io.EOF alongside a full count.
 	if n, err := s.src.ReadAt(c.buf[rem:], c.off); n != fill {
-		panic(fmt.Sprintf("workload: binary trace read failed: %v", err))
+		if err == nil {
+			err = io.ErrUnexpectedEOF
+		}
+		return err
 	}
 	c.off += int64(fill)
+	return nil
 }

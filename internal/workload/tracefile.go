@@ -125,6 +125,10 @@ func (t *TraceReplay) CoreLen(core int) int { return len(t.streams[core]) }
 // operation; the simulator refuses results from an over-driven replay.
 func (t *TraceReplay) Overdriven() uint64 { return t.overdriven }
 
+// Err implements Replay; a parsed text trace was validated whole by
+// ParseTrace, so streaming can never fail after the fact.
+func (t *TraceReplay) Err() error { return nil }
+
 // Close implements Replay; a parsed text trace holds no resources.
 func (t *TraceReplay) Close() error { return nil }
 

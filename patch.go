@@ -260,12 +260,22 @@ func Run(cfg Config) (*Result, error) {
 // RunSeeds executes n perturbed runs (seeds seed..seed+n-1) and returns
 // per-metric summaries with Student-t 95% confidence intervals, the
 // paper's methodology [Alameldeen et al.]. It is a one-cell Sweep: the
-// runs execute on the worker pool but aggregate deterministically.
+// n replicas shard across the worker pool but aggregate
+// deterministically. Use RunSeedsContext for cancellation or to tune
+// the pool.
 func RunSeeds(cfg Config, n int) (*Summary, error) {
+	return RunSeedsContext(context.Background(), cfg, n)
+}
+
+// RunSeedsContext is RunSeeds with a caller-supplied context and sweep
+// options (worker count, progress). The runs form one replica-sharded
+// cell, so they spread across the worker pool; the context cancels
+// between replicas (an individual simulation is not interruptible).
+func RunSeedsContext(ctx context.Context, cfg Config, n int, opts ...SweepOption) (*Summary, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("patch: need at least one run, got %d", n)
 	}
-	res, err := Sweep(context.Background(), Matrix{Base: cfg, Seeds: n})
+	res, err := Sweep(ctx, Matrix{Base: cfg, Seeds: n}, opts...)
 	if err != nil {
 		return nil, err
 	}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"patch/internal/stats"
 )
@@ -100,8 +101,36 @@ type cell struct {
 	label string
 }
 
-// expand produces the validated cross-product in deterministic order.
-func (m Matrix) expand() ([]cell, error) {
+// A replica is the sweep scheduler's unit of work: one seeded run of
+// one cell, identified by its (cell index, seed offset) coordinates.
+// Flattening cells x seeds into replicas is what lets a single large
+// cell (say, one 512-core configuration x 10 seeds) spread across the
+// whole worker pool instead of serialising its runs on one worker.
+type replica struct {
+	cell int // index into plan.cells
+	seed int // 0-based seed offset within the cell
+}
+
+// A plan is a matrix expanded to its validated cells plus the
+// flattened replica work-list the worker pool consumes.
+type plan struct {
+	cells    []cell
+	replicas []replica
+	seeds    int // replicas per cell (>= 1)
+}
+
+// config derives one replica's fully expanded configuration: its
+// cell's, with the seed offset applied. Derived at claim time so the
+// work-list stays two ints per replica however wide the seed axis is.
+func (p *plan) config(r replica) Config {
+	cfg := p.cells[r.cell].cfg
+	cfg.Seed += int64(r.seed)
+	return cfg
+}
+
+// expand produces the validated cross-product in deterministic order
+// and flattens it into the replica work-list.
+func (m Matrix) expand() (*plan, error) {
 	workloads := m.Workloads
 	if len(workloads) == 0 {
 		workloads = []string{m.Base.Workload}
@@ -163,17 +192,39 @@ func (m Matrix) expand() ([]cell, error) {
 			}
 		}
 	}
-	return cells, nil
+
+	seeds := m.Seeds
+	if seeds <= 0 {
+		seeds = 1
+	}
+	replicas := make([]replica, 0, len(cells)*seeds)
+	for ci := range cells {
+		for s := 0; s < seeds; s++ {
+			replicas = append(replicas, replica{cell: ci, seed: s})
+		}
+	}
+	return &plan{cells: cells, replicas: replicas, seeds: seeds}, nil
 }
 
 // NumCells returns how many cells the matrix expands to (0 on an
 // invalid matrix).
 func (m Matrix) NumCells() int {
-	cells, err := m.expand()
+	p, err := m.expand()
 	if err != nil {
 		return 0
 	}
-	return len(cells)
+	return len(p.cells)
+}
+
+// NumReplicas returns how many simulations the matrix schedules —
+// cells x seeds, the length of the replica work-list (0 on an invalid
+// matrix).
+func (m Matrix) NumReplicas() int {
+	p, err := m.expand()
+	if err != nil {
+		return 0
+	}
+	return len(p.replicas)
 }
 
 // CellResult is one completed cell of a sweep.
@@ -197,12 +248,28 @@ type SweepResult struct {
 	Runs int
 }
 
+// Progress describes one completed replica of a running sweep.
+type Progress struct {
+	// Done of Total counts completed replicas sweep-wide.
+	Done, Total int
+	// Cell is the matrix index of the completed replica's cell and
+	// Cells the sweep's cell count; CellDone of CellTotal counts the
+	// cell's completed replicas, so a consumer can render per-cell
+	// progress even when one large cell dominates the sweep.
+	Cell, Cells         int
+	CellDone, CellTotal int
+	// Label is the cell's protocol column label; Seed is the replica's
+	// absolute seed.
+	Label string
+	Seed  int64
+}
+
 // SweepOption tunes sweep execution.
 type SweepOption func(*sweepOptions)
 
 type sweepOptions struct {
 	workers  int
-	progress func(done, total int)
+	progress func(Progress)
 	emitters []Emitter
 }
 
@@ -210,9 +277,10 @@ type sweepOptions struct {
 // runtime.GOMAXPROCS(0).
 func Workers(n int) SweepOption { return func(o *sweepOptions) { o.workers = n } }
 
-// OnProgress installs a callback invoked after every completed run with
-// (done, total) counts. Calls are serialised; keep the callback fast.
-func OnProgress(f func(done, total int)) SweepOption {
+// OnProgress installs a callback invoked after every completed replica
+// with sweep-wide and per-cell counts. Calls are serialised; keep the
+// callback fast.
+func OnProgress(f func(Progress)) SweepOption {
 	return func(o *sweepOptions) { o.progress = f }
 }
 
@@ -222,30 +290,29 @@ func EmitTo(e Emitter) SweepOption {
 	return func(o *sweepOptions) { o.emitters = append(o.emitters, e) }
 }
 
-// Sweep expands the matrix and runs every cell x seed on a worker pool.
-// Results aggregate deterministically: the same matrix produces
-// bit-identical summaries at any worker count, because each run is an
-// independent simulation keyed by (cell, seed) and aggregation is
-// position-indexed. The context cancels the sweep between runs (an
-// individual simulation is not interruptible); the first run error
-// cancels the remaining work and is returned.
+// Sweep expands the matrix into a replica work-list — one entry per
+// (cell, seed) — and runs it on a worker pool. Replicas, not cells, are
+// the unit of scheduling, so a single large cell parallelises across
+// the pool exactly like many small ones. Results aggregate
+// deterministically: each replica is an independent simulation keyed by
+// (cell index, seed index) and the per-cell reduce is position-indexed,
+// so the same matrix produces bit-identical summaries at any worker
+// count and any completion order. The context cancels the sweep
+// between replicas (an individual simulation is not interruptible);
+// the first replica error cancels the remaining work and is returned.
 func Sweep(ctx context.Context, m Matrix, opts ...SweepOption) (*SweepResult, error) {
 	var o sweepOptions
 	for _, opt := range opts {
 		opt(&o)
 	}
-	cells, err := m.expand()
+	p, err := m.expand()
 	if err != nil {
 		return nil, err
 	}
-	if len(cells) == 0 {
+	if len(p.cells) == 0 {
 		return nil, ErrEmptyMatrix
 	}
-	seeds := m.Seeds
-	if seeds <= 0 {
-		seeds = 1
-	}
-	total := len(cells) * seeds
+	total := len(p.replicas)
 	workers := o.workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -266,7 +333,7 @@ func Sweep(ctx context.Context, m Matrix, opts ...SweepOption) (*SweepResult, er
 		return first
 	}
 	for i, e := range o.emitters {
-		if err := e.Begin(len(cells)); err != nil {
+		if err := e.Begin(len(p.cells)); err != nil {
 			_ = endAll(o.emitters[:i]) // close out the already-begun ones
 			return nil, err
 		}
@@ -275,32 +342,17 @@ func Sweep(ctx context.Context, m Matrix, opts ...SweepOption) (*SweepResult, er
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
-	type task struct{ cell, seed int }
-	tasks := make(chan task)
-	go func() {
-		defer close(tasks)
-		for c := range cells {
-			for s := 0; s < seeds; s++ {
-				select {
-				case tasks <- task{c, s}:
-				case <-ctx.Done():
-					return
-				}
-			}
-		}
-	}()
-
 	var (
 		mu        sync.Mutex
 		firstErr  error
 		done      int
-		results   = make([][]*Result, len(cells))
-		seedsDone = make([]int, len(cells))
-		summaries = make([]*Summary, len(cells))
+		results   = make([][]*Result, len(p.cells))
+		seedsDone = make([]int, len(p.cells))
+		summaries = make([]*Summary, len(p.cells))
 		nextEmit  int
 	)
 	for i := range results {
-		results[i] = make([]*Result, seeds)
+		results[i] = make([]*Result, p.seeds)
 	}
 	fail := func(err error) {
 		if firstErr == nil {
@@ -313,11 +365,11 @@ func Sweep(ctx context.Context, m Matrix, opts ...SweepOption) (*SweepResult, er
 	// sweep has failed, nothing further is emitted (in-flight workers
 	// still complete and re-enter here).
 	finish := func() {
-		for firstErr == nil && nextEmit < len(cells) && seedsDone[nextEmit] == seeds {
+		for firstErr == nil && nextEmit < len(p.cells) && seedsDone[nextEmit] == p.seeds {
 			i := nextEmit
 			summaries[i] = summarize(results[i])
 			for _, e := range o.emitters {
-				if err := e.Cell(CellResult{Index: i, Label: cells[i].label, Config: cells[i].cfg, Summary: summaries[i]}); err != nil {
+				if err := e.Cell(CellResult{Index: i, Label: p.cells[i].label, Config: p.cells[i].cfg, Summary: summaries[i]}); err != nil {
 					fail(err)
 					return
 				}
@@ -326,27 +378,38 @@ func Sweep(ctx context.Context, m Matrix, opts ...SweepOption) (*SweepResult, er
 		}
 	}
 
+	// The work-list is consumed through an atomic cursor: replicas are
+	// independent, so claiming the next index is the entire scheduling
+	// decision — no producer goroutine, no channel.
+	run := runReplica
+	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for t := range tasks {
-				if ctx.Err() != nil {
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= total || ctx.Err() != nil {
 					return
 				}
-				cfg := cells[t.cell].cfg
-				cfg.Seed += int64(t.seed)
-				r, err := Run(cfg)
+				rep := p.replicas[i]
+				cfg := p.config(rep)
+				r, err := run(cfg)
 				mu.Lock()
 				if err != nil {
-					fail(fmt.Errorf("patch: %s seed %d: %w", cells[t.cell].label, cfg.Seed, err))
+					fail(fmt.Errorf("patch: %s seed %d: %w", p.cells[rep.cell].label, cfg.Seed, err))
 				} else {
-					results[t.cell][t.seed] = r
-					seedsDone[t.cell]++
+					results[rep.cell][rep.seed] = r
+					seedsDone[rep.cell]++
 					done++
 					if o.progress != nil {
-						o.progress(done, total)
+						o.progress(Progress{
+							Done: done, Total: total,
+							Cell: rep.cell, Cells: len(p.cells),
+							CellDone: seedsDone[rep.cell], CellTotal: p.seeds,
+							Label: p.cells[rep.cell].label, Seed: cfg.Seed,
+						})
 					}
 					finish()
 				}
@@ -364,15 +427,21 @@ func Sweep(ctx context.Context, m Matrix, opts ...SweepOption) (*SweepResult, er
 		}
 		return nil, ctx.Err()
 	}
-	out := &SweepResult{Cells: make([]CellResult, len(cells)), Runs: total}
-	for i := range cells {
-		out.Cells[i] = CellResult{Index: i, Label: cells[i].label, Config: cells[i].cfg, Summary: summaries[i]}
+	out := &SweepResult{Cells: make([]CellResult, len(p.cells)), Runs: total}
+	for i := range p.cells {
+		out.Cells[i] = CellResult{Index: i, Label: p.cells[i].label, Config: p.cells[i].cfg, Summary: summaries[i]}
 	}
 	if err := endAll(o.emitters); err != nil {
 		return nil, err
 	}
 	return out, nil
 }
+
+// runReplica executes one replica's simulation. A package variable so
+// scheduler tests can substitute an instrumented runner and observe
+// scheduling behaviour (pool fill, overlap) without real simulations;
+// everything else always leaves it as Run.
+var runReplica = Run
 
 // summarize folds one cell's seeded runs into a Summary, in seed order.
 func summarize(runs []*Result) *Summary {

@@ -1,0 +1,145 @@
+package patch
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// withFakeRunner substitutes the replica runner for the duration of one
+// test, so scheduling behaviour is observable without real simulations.
+func withFakeRunner(t *testing.T, run func(Config) (*Result, error)) {
+	t.Helper()
+	old := runReplica
+	runReplica = run
+	t.Cleanup(func() { runReplica = old })
+}
+
+// TestReplicaSchedulerFillsPool proves the tentpole property directly
+// at the scheduler level, independent of how many CPUs the host has
+// and without wall-clock assertions: with a SINGLE cell of 8 seed
+// replicas and 4 workers, the first four replicas must all be in
+// flight simultaneously before any of them is allowed to complete. A
+// scheduler that serialised the cell's replicas (the pre-rework
+// behaviour) would park the first replica at the barrier forever and
+// fail via the timeout's error.
+func TestReplicaSchedulerFillsPool(t *testing.T) {
+	const workers = 4
+	var (
+		mu      sync.Mutex
+		arrived int
+		full    = make(chan struct{})
+	)
+	withFakeRunner(t, func(cfg Config) (*Result, error) {
+		mu.Lock()
+		arrived++
+		if arrived == workers {
+			close(full)
+		}
+		mu.Unlock()
+		select {
+		case <-full:
+		case <-time.After(10 * time.Second):
+			mu.Lock()
+			n := arrived
+			mu.Unlock()
+			return nil, fmt.Errorf("pool never filled: %d replicas in flight, want %d", n, workers)
+		}
+		// Derive the payload from the seed so the deterministic reduce
+		// remains checkable.
+		return &Result{Cycles: uint64(cfg.Seed), BytesPerMiss: float64(cfg.Seed)}, nil
+	})
+	m := Matrix{
+		Base:  Config{Cores: 8, Workload: "micro", OpsPerCore: 10, Seed: 1, SkipChecks: true},
+		Seeds: 8,
+	}
+	res, err := Sweep(context.Background(), m, Workers(workers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 1 || res.Runs != 8 {
+		t.Fatalf("%d cells, %d runs", len(res.Cells), res.Runs)
+	}
+	// Seed-order aggregation regardless of completion order.
+	for i, r := range res.Cells[0].Summary.Results {
+		if r.Cycles != uint64(1+i) {
+			t.Fatalf("result %d holds seed %d", i, r.Cycles)
+		}
+	}
+}
+
+// TestReplicaSchedulerOverlapSpeedup demonstrates the wall-clock
+// consequence with an overlappable (sleeping) runner: 8 replicas of
+// one cell at 4 workers must finish at least 2x faster than at one
+// worker — the bound the bench pair measures with real simulations on
+// multi-core hosts. Expected speedup is ~4x, so the 2x bar tolerates
+// a full sleep-length scheduling stall.
+func TestReplicaSchedulerOverlapSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	const delay = 40 * time.Millisecond
+	withFakeRunner(t, func(cfg Config) (*Result, error) {
+		time.Sleep(delay)
+		return &Result{Cycles: uint64(cfg.Seed), BytesPerMiss: float64(cfg.Seed)}, nil
+	})
+	m := Matrix{
+		Base:  Config{Cores: 8, Workload: "micro", OpsPerCore: 10, Seed: 1, SkipChecks: true},
+		Seeds: 8,
+	}
+	elapsed := func(workers int) time.Duration {
+		t.Helper()
+		start := time.Now()
+		if _, err := Sweep(context.Background(), m, Workers(workers)); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return time.Since(start)
+	}
+	seq := elapsed(1) // ~8x delay
+	par := elapsed(4) // ~2x delay
+	if par > seq/2 {
+		t.Errorf("4-worker sweep took %v vs %v sequential: speedup %.2fx < 2x",
+			par, seq, float64(seq)/float64(par))
+	}
+}
+
+// TestReplicaSchedulerWorkConservation checks the cursor hands every
+// replica to exactly one worker: with a counting runner, each (cell,
+// seed) coordinate is executed once, whatever the pool size.
+func TestReplicaSchedulerWorkConservation(t *testing.T) {
+	var mu sync.Mutex
+	runs := make(map[int64]int)
+	withFakeRunner(t, func(cfg Config) (*Result, error) {
+		mu.Lock()
+		runs[cfg.Seed]++
+		mu.Unlock()
+		return &Result{Cycles: 1, BytesPerMiss: 1}, nil
+	})
+	m := Matrix{
+		Base:      Config{Cores: 8, Workload: "micro", OpsPerCore: 10, Seed: 1, SkipChecks: true},
+		Workloads: []string{"micro", "oltp"},
+		Seeds:     5,
+	}
+	for _, workers := range []int{1, 3, 16} {
+		mu.Lock()
+		clear(runs)
+		mu.Unlock()
+		res, err := Sweep(context.Background(), m, Workers(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Runs != 10 {
+			t.Fatalf("workers=%d: Runs = %d, want 10", workers, res.Runs)
+		}
+		mu.Lock()
+		for seed := int64(1); seed <= 5; seed++ {
+			// Two cells share each seed value (same base seed).
+			if runs[seed] != 2 {
+				t.Errorf("workers=%d: seed %d executed %d times, want 2", workers, seed, runs[seed])
+			}
+		}
+		mu.Unlock()
+	}
+}

@@ -82,9 +82,9 @@ func TestSweepCancellation(t *testing.T) {
 	m := testMatrix()
 	m.Seeds = 8 // enough runs that cancellation lands mid-sweep
 	fired := 0
-	res, err := Sweep(ctx, m, Workers(1), OnProgress(func(done, total int) {
+	res, err := Sweep(ctx, m, Workers(1), OnProgress(func(p Progress) {
 		fired++
-		if done == 2 {
+		if p.Done == 2 {
 			cancel()
 		}
 	}))
@@ -94,7 +94,7 @@ func TestSweepCancellation(t *testing.T) {
 	if res != nil {
 		t.Fatal("cancelled sweep returned a result")
 	}
-	if fired >= m.NumCells()*m.Seeds {
+	if fired >= m.NumReplicas() {
 		t.Fatalf("cancellation did not stop the sweep: %d runs completed", fired)
 	}
 }
@@ -105,11 +105,25 @@ func TestSweepProgress(t *testing.T) {
 	}
 	m := testMatrix()
 	var calls []int
-	if _, err := Sweep(context.Background(), m, OnProgress(func(done, total int) {
-		if total != 12 {
-			t.Errorf("total = %d, want 12", total)
+	cellDone := make(map[int]int)
+	if _, err := Sweep(context.Background(), m, OnProgress(func(p Progress) {
+		if p.Total != 12 {
+			t.Errorf("Total = %d, want 12", p.Total)
 		}
-		calls = append(calls, done)
+		if p.Cells != 6 || p.CellTotal != 2 {
+			t.Errorf("Cells = %d, CellTotal = %d, want 6 and 2", p.Cells, p.CellTotal)
+		}
+		if p.Cell < 0 || p.Cell >= 6 || p.Label == "" {
+			t.Errorf("bad cell coordinates: %+v", p)
+		}
+		cellDone[p.Cell]++
+		if p.CellDone != cellDone[p.Cell] {
+			t.Errorf("CellDone = %d, want %d for cell %d", p.CellDone, cellDone[p.Cell], p.Cell)
+		}
+		if p.Seed < 1 || p.Seed > 2 {
+			t.Errorf("Seed = %d outside the cell's seed range [1, 2]", p.Seed)
+		}
+		calls = append(calls, p.Done)
 	})); err != nil {
 		t.Fatal(err)
 	}
@@ -119,6 +133,11 @@ func TestSweepProgress(t *testing.T) {
 	for i, d := range calls {
 		if d != i+1 {
 			t.Fatalf("progress not monotonic: %v", calls)
+		}
+	}
+	for c, n := range cellDone {
+		if n != 2 {
+			t.Fatalf("cell %d completed %d replicas, want 2", c, n)
 		}
 	}
 }
@@ -164,9 +183,32 @@ func TestMatrixExpansionOrderAndAxes(t *testing.T) {
 	if n := m.NumCells(); n != 16 {
 		t.Fatalf("NumCells = %d, want 16", n)
 	}
-	cells, err := m.expand()
+	m.Seeds = 3
+	if n := m.NumReplicas(); n != 48 {
+		t.Fatalf("NumReplicas = %d, want 48", n)
+	}
+	p, err := m.expand()
 	if err != nil {
 		t.Fatal(err)
+	}
+	cells := p.cells
+	// The replica work-list flattens cells x seeds, each entry keyed
+	// back to its cell with the seed offset applied on derivation.
+	if len(p.replicas) != 48 || p.seeds != 3 {
+		t.Fatalf("replicas = %d, seeds = %d, want 48 and 3", len(p.replicas), p.seeds)
+	}
+	for i, r := range p.replicas {
+		if r.cell != i/3 || r.seed != i%3 {
+			t.Fatalf("replica %d keyed (%d, %d), want (%d, %d)", i, r.cell, r.seed, i/3, i%3)
+		}
+		cfg := p.config(r)
+		if want := cells[r.cell].cfg.Seed + int64(r.seed); cfg.Seed != want {
+			t.Fatalf("replica %d seed %d, want %d", i, cfg.Seed, want)
+		}
+		cfg.Seed = cells[r.cell].cfg.Seed
+		if cfg != cells[r.cell].cfg {
+			t.Fatalf("replica %d config diverges from its cell beyond the seed", i)
+		}
 	}
 	// Innermost axis varies fastest.
 	if cells[0].label != "Directory" || cells[1].label != "PATCH-None" {
