@@ -10,7 +10,7 @@
 //	bench -out FILE       # override the output path
 //	bench -compare FILE   # print an old-vs-new table against a prior record
 //	bench -gate FILE      # CI regression gate: exit non-zero on a >2x
-//	                      # ns/op or allocs/op regression vs FILE
+//	                      # ns/op, allocs/op or bytes/op regression vs FILE
 //
 // Without -compare, the comparison baseline is the BENCH_*.json in the
 // working directory with the newest JSON date field (filename breaks
@@ -84,15 +84,30 @@ func fail(b *testing.B, err error) {
 	b.Fatal(err)
 }
 
+// simScenario measures one simulation per iteration. The System is
+// built once and Reset-reused across iterations (and across the quick
+// mode's repetitions), so the recorded allocs/op and bytes/op reflect
+// the steady state a sweep worker sees, not per-run world construction.
 func simScenario(name string, cfg sim.Config) scenario {
+	var sys *sim.System
 	return scenario{name: name, run: func(b *testing.B) float64 {
 		var cycles float64
 		for i := 0; i < b.N; i++ {
 			c := cfg
 			c.Seed = int64(i + 1)
 			c.SkipChecks = true
-			r, err := sim.Run(c)
+			var err error
+			if sys == nil {
+				sys, err = sim.NewSystem(c)
+			} else {
+				err = sys.Reset(c)
+			}
 			if err != nil {
+				fail(b, err)
+			}
+			r, err := sys.Run()
+			if err != nil {
+				sys = nil // a failed run is not reusable
 				fail(b, err)
 			}
 			cycles += float64(r.Cycles)
@@ -238,7 +253,7 @@ func main() {
 	out := flag.String("out", "", "output path (default BENCH_<date>.json)")
 	compare := flag.String("compare", "", "prior BENCH_*.json to diff against (default: newest committed date in cwd)")
 	gate := flag.String("gate", "", "baseline BENCH_*.json to gate against: exit non-zero on regression (CI)")
-	gateThreshold := flag.Float64("gate-threshold", 2.0, "ns/op or allocs/op ratio that fails the gate")
+	gateThreshold := flag.Float64("gate-threshold", 2.0, "ns/op, allocs/op or bytes/op ratio that fails the gate")
 	flag.Parse()
 	if err := benchMain(*quick, *out, *compare, *gate, *gateThreshold); err != nil {
 		fatal(err)
@@ -342,8 +357,8 @@ func printShardSpeedup(records []Record) {
 
 // runGate is the CI regression gate: it diffs the current record
 // against the committed baseline and fails (non-zero exit) when any
-// shared scenario regressed by more than threshold in ns/op or
-// allocs/op. Scales must match — gating a quick run against a full
+// shared scenario regressed by more than threshold in ns/op, allocs/op
+// or bytes/op. Scales must match — gating a quick run against a full
 // baseline (or vice versa) would compare different grids.
 func runGate(basePath string, cur File, threshold float64) error {
 	data, err := os.ReadFile(basePath)
@@ -379,11 +394,18 @@ func runGate(basePath string, cur File, threshold float64) error {
 			violations = append(violations, fmt.Sprintf("%s: allocs/op %d -> %d (%.2fx > %.2fx)",
 				r.Name, o.AllocsPerOp, r.AllocsPerOp, float64(r.AllocsPerOp)/float64(o.AllocsPerOp), threshold))
 		}
+		// Bytes, like allocs, are deterministic and hardware-independent;
+		// a footprint regression (a dropped free-list, a de-pooled arena)
+		// can hide behind a stable allocation count.
+		if exceeds(float64(o.BytesPerOp), float64(r.BytesPerOp)) {
+			violations = append(violations, fmt.Sprintf("%s: bytes/op %d -> %d (%.2fx > %.2fx)",
+				r.Name, o.BytesPerOp, r.BytesPerOp, float64(r.BytesPerOp)/float64(o.BytesPerOp), threshold))
+		}
 	}
 	if len(violations) > 0 {
 		return fmt.Errorf("gate: regression vs %s:\n  %s", basePath, strings.Join(violations, "\n  "))
 	}
-	fmt.Printf("gate: ok vs %s (no >%.1fx ns/op or allocs/op regression)\n", basePath, threshold)
+	fmt.Printf("gate: ok vs %s (no >%.1fx ns/op, allocs/op or bytes/op regression)\n", basePath, threshold)
 	return nil
 }
 

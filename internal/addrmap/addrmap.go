@@ -6,9 +6,12 @@
 // so a lookup is a few array probes instead of runtime map machinery.
 //
 // The simulator's per-block state (directory entries, store counts,
-// version watermarks) only grows, so the hot paths never delete; Delete
-// exists for tooling and is O(n), rebuilding the index to keep both the
-// probe sequences and the insertion-order iteration exact.
+// version watermarks) only grows within a run, so the hot paths never
+// delete; Delete exists for small side tables (writeback buffers) and
+// tooling and is O(n), rebuilding the index to keep both the probe
+// sequences and the insertion-order iteration exact. Clear empties the
+// map while retaining capacity, which is what the simulator's Reset
+// paths use to reuse per-node state across runs.
 package addrmap
 
 import "patch/internal/msg"
@@ -96,6 +99,17 @@ func (m *Map[V]) Delete(a msg.Addr) bool {
 			return true
 		}
 	}
+}
+
+// Clear removes every entry while retaining the allocated capacity, so
+// a cleared map re-fills without re-growing the index table or the
+// dense slabs. Values are zeroed before truncation so pointers held by
+// removed entries do not survive the clear.
+func (m *Map[V]) Clear() {
+	clear(m.idx)
+	m.addrs = m.addrs[:0]
+	clear(m.vals)
+	m.vals = m.vals[:0]
 }
 
 // grow (re)builds the index table at twice the capacity.

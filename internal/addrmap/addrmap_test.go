@@ -75,6 +75,55 @@ func TestDelete(t *testing.T) {
 	}
 }
 
+// TestClear checks Clear empties the map, resets the iteration order,
+// releases held pointers, and retains capacity: re-filling a cleared
+// map with the same keys allocates nothing.
+func TestClear(t *testing.T) {
+	var m Map[*int]
+	m.Clear() // clearing the zero map is a no-op
+	if m.Len() != 0 {
+		t.Fatalf("Len after clearing empty map = %d", m.Len())
+	}
+	for i := 0; i < 100; i++ {
+		v := i
+		*m.Ptr(msg.Addr(i * 64)) = &v
+	}
+	m.Clear()
+	if m.Len() != 0 {
+		t.Fatalf("Len after Clear = %d", m.Len())
+	}
+	if _, ok := m.Get(0); ok {
+		t.Fatal("cleared key still present")
+	}
+	if !func() bool { ok := true; m.ForEach(func(msg.Addr, **int) { ok = false }); return ok }() {
+		t.Fatal("ForEach visited entries after Clear")
+	}
+	// Old insertion order must not leak into the refilled map.
+	*m.Ptr(64 * 50) = nil
+	*m.Ptr(64 * 3) = nil
+	var order []msg.Addr
+	m.ForEach(func(a msg.Addr, _ **int) { order = append(order, a) })
+	if len(order) != 2 || order[0] != 64*50 || order[1] != 64*3 {
+		t.Fatalf("iteration order after Clear+reinsert: %v", order)
+	}
+
+	// Capacity retention: clear + refill with the same key set is
+	// allocation-free (the reuse property the protocol Reset paths need).
+	var n Map[int]
+	for i := 0; i < 128; i++ {
+		*n.Ptr(msg.Addr(i * 64)) = i
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		n.Clear()
+		for i := 0; i < 128; i++ {
+			*n.Ptr(msg.Addr(i * 64)) = i
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("clear+refill allocated %.1f times per run, want 0", allocs)
+	}
+}
+
 // TestSlabGrowth pushes the map through many index rebuilds and checks
 // every entry survives with its value.
 func TestSlabGrowth(t *testing.T) {
@@ -126,7 +175,12 @@ func TestIterationDeterministic(t *testing.T) {
 
 // applyOps drives a Map and a Go-map oracle with the same operation
 // stream decoded from data, and fails t on any observable divergence.
-// Each op is 9 bytes: kind byte + big-endian address.
+// Each op is 9 bytes: kind byte + big-endian address, decoded kind%4:
+// insert/lookup/delete/clear. Kind bytes 0-2 keep their original
+// insert/lookup/delete meaning; bytes >= 3 decoded differently under
+// the pre-Clear kind%3 scheme, so an old cached corpus entry using
+// them exercises a different (still valid) op sequence after this
+// change.
 func applyOps(t *testing.T, data []byte) {
 	var m Map[uint64]
 	oracle := make(map[msg.Addr]uint64)
@@ -137,7 +191,7 @@ func applyOps(t *testing.T, data []byte) {
 		addr := msg.Addr(binary.BigEndian.Uint64(data[1:9]))
 		data = data[9:]
 		tick++
-		switch kind % 3 {
+		switch kind % 4 {
 		case 0: // insert or update
 			*m.Ptr(addr) = tick
 			if _, ok := oracle[addr]; !ok {
@@ -165,6 +219,10 @@ func applyOps(t *testing.T, data []byte) {
 					}
 				}
 			}
+		case 3: // clear
+			m.Clear()
+			clear(oracle)
+			order = order[:0]
 		}
 		if m.Len() != len(oracle) {
 			t.Fatalf("Len = %d, oracle %d", m.Len(), len(oracle))
@@ -197,7 +255,7 @@ func FuzzMapOracle(f *testing.F) {
 	r := rand.New(rand.NewSource(7))
 	for i := 0; i < 45; i++ {
 		var op [9]byte
-		op[0] = byte(r.Intn(3))
+		op[0] = byte(r.Intn(4))
 		// A tiny address space makes collisions, updates, and
 		// delete-then-reinsert common.
 		binary.BigEndian.PutUint64(op[1:], uint64(r.Intn(8))*64)
@@ -216,7 +274,7 @@ func TestMapOracleRandom(t *testing.T) {
 		n := 1 + r.Intn(400)
 		data := make([]byte, n*9)
 		for i := 0; i < n; i++ {
-			data[i*9] = byte(r.Intn(3))
+			data[i*9] = byte(r.Intn(4))
 			binary.BigEndian.PutUint64(data[i*9+1:], uint64(r.Intn(64))*64)
 		}
 		applyOps(t, data)

@@ -195,6 +195,17 @@ func (c *Cache) Drop(l *Line) { *l = Line{} }
 // measurement phase begins after warmup) without touching contents.
 func (c *Cache) ResetCounters() { c.Hits, c.Misses, c.Evictions = 0, 0, 0 }
 
+// Reset empties the cache and rewinds the LRU clock and statistics,
+// retaining the line arrays: a reset cache behaves exactly like a
+// freshly constructed one of the same geometry.
+func (c *Cache) Reset() {
+	for _, set := range c.sets {
+		clear(set)
+	}
+	c.clock = 0
+	c.ResetCounters()
+}
+
 // TokenHoldings implements token.Holder.
 func (c *Cache) TokenHoldings(fn func(addr msg.Addr, count int, owner bool)) {
 	for _, set := range c.sets {

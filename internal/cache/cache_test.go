@@ -153,6 +153,37 @@ func TestResetCounters(t *testing.T) {
 	}
 }
 
+// TestReset checks Reset empties contents, counters and the LRU clock,
+// so a reused cache is indistinguishable from a fresh one.
+func TestReset(t *testing.T) {
+	c := small()
+	for i := 0; i < 12; i++ {
+		c.Allocate(addr(i%4, i))
+		c.Access(addr(i%4, i))
+	}
+	c.Reset()
+	if c.Hits != 0 || c.Misses != 0 || c.Evictions != 0 {
+		t.Fatal("counters survived Reset")
+	}
+	present := 0
+	c.ForEach(func(*Line) { present++ })
+	if present != 0 {
+		t.Fatalf("%d lines survived Reset", present)
+	}
+	// LRU behaviour matches a fresh cache: fill one set, touch the
+	// first way, and the second way must be the victim.
+	f := small()
+	for _, cc := range []*Cache{c, f} {
+		cc.Allocate(addr(0, 1))
+		cc.Allocate(addr(0, 2))
+		cc.Access(addr(0, 1))
+		v := cc.Victim(addr(0, 3))
+		if v == nil || v.Addr != addr(0, 2) {
+			t.Fatalf("victim after reset diverges from fresh: %+v", v)
+		}
+	}
+}
+
 func TestSetsPowerOfTwoSizing(t *testing.T) {
 	c := New(Config{SizeBytes: 1 << 20, Ways: 4, BlockSize: 64})
 	if c.Sets() != (1<<20)/(4*64) {

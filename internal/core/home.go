@@ -9,26 +9,53 @@ import (
 	"patch/internal/token"
 )
 
-// homeReceive accepts indirect requests at the home, applying the
-// directory lookup latency and the per-block blocking discipline PATCH
-// inherits from DIRECTORY (one active request per block; arrival order
-// at the home decides the service order of races).
-func (n *Node) homeReceive(now event.Time, m *msg.Message) {
-	// The delivered message is consulted after the lookup delay, so hold
-	// a reference across the deferred step; queued requests are copied by
-	// value so the pooled message can be recycled immediately.
+// homeTask defers a home-side message past the directory lookup
+// latency: the pooled-task replacement for the per-message closure,
+// holding the pool reference the closure used to capture.
+type homeTask struct {
+	n *Node
+	m *msg.Message
+}
+
+// Fire implements event.Task: the directory lookup completed.
+func (t *homeTask) Fire(now event.Time) {
+	n, m := t.n, t.m
+	t.m = nil
+	n.homeFree.Put(t)
+	defer n.Env.Net.Release(m)
+	switch m.Type {
+	case msg.GetS, msg.GetM:
+		n.homeReceive(now, m)
+	default:
+		n.homeTokens(now, m)
+	}
+}
+
+// homeDefer holds a reference to the delivered message across the
+// directory lookup latency, then dispatches it home-side. Queued
+// requests are copied by value inside the deferred step, so the pooled
+// message is recycled the moment the lookup completes.
+func (n *Node) homeDefer(m *msg.Message) {
 	n.Env.Net.Retain(m)
-	n.Env.Eng.After(event.Time(n.dir.LookupLatency), func(now event.Time) {
-		defer n.Env.Net.Release(m)
-		e := n.dir.Entry(m.Addr)
-		if e.Busy {
-			e.Queue = append(e.Queue, directory.Pending{
-				Req: m.Requester, IsWrite: m.IsWrite, Transient: m.Detached(),
-			})
-			return
-		}
-		n.homeActivate(now, e, m)
-	})
+	t := n.homeFree.Get()
+	t.n = n
+	t.m = m
+	n.Env.Eng.AfterTask(event.Time(n.dir.LookupLatency), t)
+}
+
+// homeReceive accepts indirect requests at the home (after the lookup
+// delay), applying the per-block blocking discipline PATCH inherits
+// from DIRECTORY (one active request per block; arrival order at the
+// home decides the service order of races).
+func (n *Node) homeReceive(now event.Time, m *msg.Message) {
+	e := n.dir.Entry(m.Addr)
+	if e.Busy {
+		e.Queue = append(e.Queue, directory.Pending{
+			Req: m.Requester, IsWrite: m.IsWrite, Transient: m.Detached(),
+		})
+		return
+	}
+	n.homeActivate(now, e, m)
 }
 
 // homeTokens receives tokens flowing back to the home: writebacks and
@@ -37,31 +64,27 @@ func (n *Node) homeReceive(now event.Time, m *msg.Message) {
 // tokens are absorbed into memory, with the owner token set clean on
 // arrival (Rule #1).
 func (n *Node) homeTokens(now event.Time, m *msg.Message) {
-	n.Env.Net.Retain(m)
-	n.Env.Eng.After(event.Time(n.dir.LookupLatency), func(now event.Time) {
-		defer n.Env.Net.Release(m)
-		e := n.dir.Entry(m.Addr)
-		if m.Type != msg.TokenReturn {
-			// A full eviction: the evictor keeps nothing.
-			if n.dir.Enc.Coarseness == 1 {
-				e.Sharers.Remove(m.Src)
-			}
-			if e.Owner == m.Src {
-				e.Owner = directory.HomeOwner
-			}
+	e := n.dir.Entry(m.Addr)
+	if m.Type != msg.TokenReturn {
+		// A full eviction: the evictor keeps nothing.
+		if n.dir.Enc.Coarseness == 1 {
+			e.Sharers.Remove(m.Src)
 		}
-		if e.Busy {
-			n.redirect(e, m)
-			return
+		if e.Owner == m.Src {
+			e.Owner = directory.HomeOwner
 		}
-		e.Tok.Add(m.Tokens, m.Owner, false, m.Owner) // memory data valid once the owner returns
-		if m.HasData && m.Version > e.MemVersion {
-			e.MemVersion = m.Version
-		}
-		if m.Owner {
-			e.DataAtMemory = true
-		}
-	})
+	}
+	if e.Busy {
+		n.redirect(e, m)
+		return
+	}
+	e.Tok.Add(m.Tokens, m.Owner, false, m.Owner) // memory data valid once the owner returns
+	if m.HasData && m.Version > e.MemVersion {
+		e.MemVersion = m.Version
+	}
+	if m.Owner {
+		e.DataAtMemory = true
+	}
 }
 
 // redirect funnels arriving tokens to the active requester. A clean
@@ -82,11 +105,21 @@ func (n *Node) redirect(e *directory.Entry, m *msg.Message) {
 	}
 	token.Attach(out, m.Tokens, m.Owner, m.OwnerDirty, withData)
 	if delay > 0 {
-		n.Env.Eng.After(delay, func(event.Time) { n.Send(out) })
+		n.SendAfter(delay, out)
 	} else {
 		n.Send(out)
 	}
 }
+
+// Deactivation-time directory commits (see directory.Entry.Commit).
+const (
+	// commitWrite installs the writer as owner with no sharers; the
+	// memory copy goes stale.
+	commitWrite uint8 = iota + 1
+	// commitRead installs the reader as owner, keeping the previous
+	// owner (Prev) in the sharer superset (Rule #1b).
+	commitRead
+)
 
 // homeActivate designates the request as the block's active request
 // (Rule #1a) and forwards it to a superset of the caches holding tenured
@@ -125,27 +158,14 @@ func (n *Node) homeActivate(now event.Time, e *directory.Entry, m *msg.Message) 
 		e.MigrArmed = true
 	}
 
-	// Directory update committed at deactivation.
-	prevOwner := e.Owner
+	// Directory update committed at deactivation. Reads (including
+	// migratory conversions) keep the previous owner in the sharer set:
+	// it may retain tenured tokens, and the set must stay a superset of
+	// tenured holders (Rule #1b).
 	if m.IsWrite {
-		e.OnDeactivate = func(*msg.Message) {
-			e.Owner = r
-			e.Sharers.Clear()
-			e.DataAtMemory = false
-		}
+		e.Commit = directory.Commit{Kind: commitWrite, Req: r}
 	} else {
-		// Reads (including migratory conversions) keep the previous
-		// owner in the sharer set: it may retain tenured tokens, and the
-		// set must stay a superset of tenured holders (Rule #1b).
-		e.OnDeactivate = func(*msg.Message) {
-			if prevOwner != directory.HomeOwner && prevOwner != r {
-				e.Sharers.Add(prevOwner)
-			}
-			e.Owner = r
-			if n.dir.Enc.Coarseness == 1 {
-				e.Sharers.Remove(r)
-			}
-		}
+		e.Commit = directory.Commit{Kind: commitRead, Req: r, Prev: e.Owner}
 	}
 
 	actCarrier := false
@@ -170,7 +190,7 @@ func (n *Node) homeActivate(now event.Time, e *directory.Entry, m *msg.Message) 
 				e.Tok.TakeOwner() // the home's owner token is always clean
 				token.Attach(grant, 1+spare, true, false, true)
 			}
-			n.Env.Eng.After(event.Time(n.dir.DRAMLatency), func(event.Time) { n.Send(grant) })
+			n.SendAfter(event.Time(n.dir.DRAMLatency), grant)
 			actCarrier = true
 		} else if m.IsWrite {
 			tokens, _, _ := e.Tok.TakeAll()
@@ -204,7 +224,7 @@ func (n *Node) homeActivate(now event.Time, e *directory.Entry, m *msg.Message) 
 	// Invalidation-style forwards to the sharer superset (writes only).
 	// Only token holders answer: ack elision (§7).
 	if m.IsWrite {
-		if targets := invalidationTargets(e, r); len(targets) > 0 {
+		if targets := n.invalidationTargets(e, r); len(targets) > 0 {
 			n.Multicast(n.Msg(msg.Message{
 				Type: msg.Fwd, Addr: e.Addr, Requester: r, IsWrite: true, Activated: true, Seq: e.ActiveSeq,
 			}), targets)
@@ -216,19 +236,12 @@ func (n *Node) homeActivate(now event.Time, e *directory.Entry, m *msg.Message) 
 	}
 }
 
-func noOtherSharers(e *directory.Entry, r, owner msg.NodeID) bool {
-	for _, s := range e.Sharers.Members(r) {
-		if s != owner {
-			return false
-		}
-	}
-	return true
-}
-
-// invalidationTargets expands the sharer encoding, excluding requester
-// and owner.
-func invalidationTargets(e *directory.Entry, r msg.NodeID) []msg.NodeID {
-	members := e.Sharers.Members(r)
+// invalidationTargets expands the sharer encoding into the node's
+// scratch buffer, excluding requester and owner. The result is consumed
+// (by Multicast) before the buffer's next use.
+func (n *Node) invalidationTargets(e *directory.Entry, r msg.NodeID) []msg.NodeID {
+	members := e.Sharers.AppendMembers(n.Scratch[:0], r)
+	n.Scratch = members[:0] // retain any growth for the next expansion
 	out := members[:0]
 	for _, s := range members {
 		if s != e.Owner {
@@ -244,10 +257,21 @@ func (n *Node) homeDeactivate(now event.Time, m *msg.Message) {
 	if !e.Busy || e.Active != m.Requester || e.ActiveSeq != m.Seq {
 		panic(fmt.Sprintf("core: home %d: spurious deactivate %v", n.ID, m))
 	}
-	if e.OnDeactivate != nil {
-		e.OnDeactivate(m)
-		e.OnDeactivate = nil
+	switch c := e.Commit; c.Kind {
+	case commitWrite:
+		e.Owner = c.Req
+		e.Sharers.Clear()
+		e.DataAtMemory = false
+	case commitRead:
+		if c.Prev != directory.HomeOwner && c.Prev != c.Req {
+			e.Sharers.Add(c.Prev)
+		}
+		e.Owner = c.Req
+		if n.dir.Enc.Coarseness == 1 {
+			e.Sharers.Remove(c.Req)
+		}
 	}
+	e.Commit = directory.Commit{}
 	if e.MigrAttempted {
 		if !m.Migratory {
 			e.Migratory = false // the owner had not written: not migrating
@@ -256,8 +280,7 @@ func (n *Node) homeDeactivate(now event.Time, m *msg.Message) {
 	}
 	e.Busy = false
 	if len(e.Queue) > 0 {
-		p := e.Queue[0]
-		e.Queue = e.Queue[1:]
+		p := e.PopQueue()
 		n.homeActivate(now, e, &p.Transient)
 	}
 }

@@ -99,6 +99,17 @@ type Node struct {
 	// seq numbers this node's transactions so that activation
 	// notifications match the right request generation.
 	seq uint64
+
+	// Free-lists: recycled MSHRs, deferred home-lookup tasks, and
+	// standalone tenure-timer tasks. Together with the pooled tasks in
+	// protocol.Base they make the steady-state miss path allocation-free.
+	mshrFree protocol.FreeList[mshr]
+	homeFree protocol.FreeList[homeTask]
+	saFree   protocol.FreeList[saTimer]
+
+	// avoid is the victim filter passed to AllocateAvoid, built once so
+	// the per-miss line installation does not allocate a closure.
+	avoid func(msg.Addr) bool
 }
 
 // New creates a PATCH node.
@@ -112,9 +123,54 @@ func New(id msg.NodeID, env *protocol.Env, enc directory.Encoding, cfg Config) *
 		ignoreDirectUntil: make(map[msg.Addr]event.Time),
 		tenureTimers:      make(map[msg.Addr]event.Handle),
 	}
+	n.Self = n
+	n.avoid = func(a msg.Addr) bool { _, busy := n.mshrs[a]; return busy }
 	n.dir.LookupLatency = env.DirLatency
 	n.dir.DRAMLatency = env.DRAMLatency
 	return n
+}
+
+// Reset returns the node to its freshly constructed state for cfg,
+// retaining allocated capacity (cache arrays, directory slabs and index,
+// predictor table, MSHR and task free-lists). It must only be called on
+// a quiesced node of a drained system; behaviour after a reset is
+// indistinguishable from a new node's.
+func (n *Node) Reset(enc directory.Encoding, cfg Config) {
+	n.ResetBase()
+	n.cfg = cfg
+	n.dir.Reset(enc, n.Env.Tokens)
+	n.dir.LookupLatency = n.Env.DirLatency
+	n.dir.DRAMLatency = n.Env.DRAMLatency
+	n.pred.Reset(cfg.Policy)
+	for _, m := range n.mshrs { // empty on a quiesced node
+		m.timer.Cancel()
+		n.freeMSHR(m)
+	}
+	clear(n.mshrs)
+	clear(n.ignoreDirectUntil)
+	clear(n.tenureTimers)
+	n.seq = 0
+}
+
+// newMSHR acquires a recycled (or new) MSHR initialised for one miss.
+func (n *Node) newMSHR(addr msg.Addr, isWrite bool) *mshr {
+	m := n.mshrFree.Get()
+	*m = mshr{
+		addr: addr, seq: n.seq, isWrite: isWrite, issued: n.Env.Eng.Now(),
+		done: m.done[:0], waiters: m.waiters[:0], n: n,
+	}
+	return m
+}
+
+// freeMSHR recycles a retired MSHR. The caller must already have
+// cancelled its timer and removed it from the MSHR table; callback
+// references are dropped so retired closures stay collectable.
+func (n *Node) freeMSHR(m *mshr) {
+	clear(m.done)
+	m.done = m.done[:0]
+	clear(m.waiters)
+	m.waiters = m.waiters[:0]
+	n.mshrFree.Put(m)
 }
 
 // Directory exposes the home slice (checkers, tests).
@@ -176,7 +232,7 @@ func (n *Node) Access(addr msg.Addr, isWrite bool, done func()) {
 		n.St.UpgradeMisses++
 	}
 	n.seq++
-	m := &mshr{addr: addr, seq: n.seq, isWrite: isWrite, issued: n.Env.Eng.Now(), n: n}
+	m := n.newMSHR(addr, isWrite)
 	m.done = append(m.done, done)
 	n.mshrs[addr] = m
 
@@ -263,10 +319,8 @@ func (n *Node) returnTokensHome(line *cache.Line) {
 // Handle implements protocol.Node.
 func (n *Node) Handle(now event.Time, m *msg.Message) {
 	switch m.Type {
-	case msg.GetS, msg.GetM:
-		n.homeReceive(now, m)
-	case msg.PutM, msg.PutClean, msg.TokenReturn:
-		n.homeTokens(now, m)
+	case msg.GetS, msg.GetM, msg.PutM, msg.PutClean, msg.TokenReturn:
+		n.homeDefer(m)
 	case msg.Deactivate:
 		n.homeDeactivate(now, m)
 	case msg.Fwd:
@@ -366,7 +420,8 @@ func (n *Node) progress(now event.Time, ms *mshr) {
 		for _, d := range ms.done {
 			d()
 		}
-		ms.done = nil
+		clear(ms.done)
+		ms.done = ms.done[:0]
 	}
 	// Deactivation Rule (#7): once active with sufficient tenured
 	// tokens, give up active status.
@@ -376,8 +431,8 @@ func (n *Node) progress(now event.Time, ms *mshr) {
 	}
 }
 
-// retire sends the deactivation, closes the MSHR, opens the
-// post-deactivation direct-request ignore window, and replays any
+// retire sends the deactivation, closes and recycles the MSHR, opens
+// the post-deactivation direct-request ignore window, and replays any
 // accesses that queued behind the miss.
 func (n *Node) retire(now event.Time, ms *mshr) {
 	ms.timer.Cancel()
@@ -390,8 +445,30 @@ func (n *Node) retire(now event.Time, ms *mshr) {
 		Requester: n.ID, Seq: ms.seq, Migratory: ms.migratory,
 	}))
 	for _, w := range ms.waiters {
-		w := w
-		n.Env.Eng.After(1, func(event.Time) { n.Access(ms.addr, w.isWrite, w.done) })
+		n.Replay(1, ms.addr, w.isWrite, w.done)
+	}
+	n.freeMSHR(ms)
+}
+
+// saTimer is the pooled standalone tenure timer: a probationary discard
+// armed for tokens held on a line with no outstanding request.
+type saTimer struct {
+	n    *Node
+	addr msg.Addr
+}
+
+// Fire implements event.Task: the standalone probation expired.
+func (t *saTimer) Fire(event.Time) {
+	n, addr := t.n, t.addr
+	n.saFree.Put(t)
+	delete(n.tenureTimers, addr)
+	if n.mshrs[addr] != nil {
+		return // a newer request now governs the line
+	}
+	line := n.L2.Lookup(addr)
+	if line != nil && line.Untenured && !line.Tok.Zero() {
+		n.St.TenureTimeouts++
+		n.returnTokensHome(line)
 	}
 }
 
@@ -401,26 +478,16 @@ func (n *Node) armStandaloneTimer(addr msg.Addr) {
 	if h, ok := n.tenureTimers[addr]; ok && h.Pending() {
 		return
 	}
-	n.tenureTimers[addr] = n.Env.Eng.After(n.tenurePeriod(), func(now event.Time) {
-		delete(n.tenureTimers, addr)
-		if n.mshrs[addr] != nil {
-			return // a newer request now governs the line
-		}
-		line := n.L2.Lookup(addr)
-		if line != nil && line.Untenured && !line.Tok.Zero() {
-			n.St.TenureTimeouts++
-			n.returnTokensHome(line)
-		}
-	})
+	t := n.saFree.Get()
+	t.n = n
+	t.addr = addr
+	n.tenureTimers[addr] = n.Env.Eng.AfterTask(n.tenurePeriod(), t)
 }
 
 // installLine allocates the block, evicting (non-silently: Rule #1
 // forbids destroying tokens) as needed.
 func (n *Node) installLine(addr msg.Addr) *cache.Line {
-	line, evicted := n.L2.AllocateAvoid(addr, func(a msg.Addr) bool {
-		_, busy := n.mshrs[a]
-		return busy
-	})
+	line, evicted := n.L2.AllocateAvoid(addr, n.avoid)
 	if evicted.Present {
 		n.evict(&evicted)
 	}

@@ -104,7 +104,15 @@ func (s *SharerSet) Remove(n msg.NodeID) {
 // every marked group, excluding exclude (pass -2 to exclude nobody; the
 // requester is normally excluded from invalidation multicasts).
 func (s *SharerSet) Members(exclude msg.NodeID) []msg.NodeID {
-	var out []msg.NodeID
+	return s.AppendMembers(nil, exclude)
+}
+
+// AppendMembers appends the conservative expansion of the set to dst,
+// excluding exclude, and returns the extended slice. It is the
+// allocation-free form of Members for hot paths: callers pass a
+// per-node scratch buffer re-sliced to zero length and must consume the
+// result before the next use of the same buffer.
+func (s *SharerSet) AppendMembers(dst []msg.NodeID, exclude msg.NodeID) []msg.NodeID {
 	groups := s.enc.Cores / s.enc.Coarseness
 	for g := 0; g < groups; g++ {
 		if s.bits[g/64]&(1<<(g%64)) == 0 {
@@ -114,11 +122,25 @@ func (s *SharerSet) Members(exclude msg.NodeID) []msg.NodeID {
 		for i := 0; i < s.enc.Coarseness; i++ {
 			n := msg.NodeID(base + i)
 			if n != exclude {
-				out = append(out, n)
+				dst = append(dst, n)
 			}
 		}
 	}
-	return out
+	return dst
+}
+
+// reuse returns an empty set under enc, reusing s's bit array when it
+// is large enough — the Reset path re-carves recycled slab entries
+// without reallocating their sharer vectors.
+func (s SharerSet) reuse(enc Encoding) SharerSet {
+	groups := enc.Cores / enc.Coarseness
+	n := (groups + 63) / 64
+	if cap(s.bits) < n {
+		return NewSharerSet(enc)
+	}
+	b := s.bits[:n]
+	clear(b)
+	return SharerSet{enc: enc, bits: b}
 }
 
 // Count returns the number of cores in the conservative expansion.
@@ -166,18 +188,22 @@ type Entry struct {
 	// home of an untouched block holds all tokens with a clean owner.
 	Tok token.State
 
-	// OnDeactivate commits the active transaction's directory update when
-	// the requester's deactivation arrives; the deactivation message is
-	// passed in so outcome-dependent commits (migratory conversions) can
-	// inspect it.
-	OnDeactivate func(deact *msg.Message)
+	// Commit is the pending directory update to apply when the active
+	// transaction's deactivation arrives. Kind's interpretation belongs
+	// to the protocol that recorded it (each protocol's homeDeactivate
+	// switches on its own kind constants; CommitNone means nothing is
+	// pending). A value descriptor rather than a closure, so activation
+	// allocates nothing.
+	Commit Commit
 
 	// AwaitingWB is set when the home activates a request from the node
 	// it still believes to be the owner: the owner's writeback must be in
 	// flight, and the transaction stalls until it arrives, at which point
-	// Resume continues servicing from memory.
+	// the protocol re-services the request recorded in ResumeReq and
+	// ResumeType from memory.
 	AwaitingWB bool
-	Resume     func()
+	ResumeReq  msg.NodeID
+	ResumeType msg.Type
 
 	// Migratory is the migratory-sharing detector state: set once the
 	// pattern "read then write by the same core" has been observed.
@@ -193,6 +219,19 @@ type Entry struct {
 	// MemVersion is the write serial number of the memory copy, updated
 	// by writebacks carrying data and served with home data responses.
 	MemVersion uint64
+}
+
+// CommitNone is the shared zero Kind meaning no commit is pending;
+// protocols define their own non-zero kind constants.
+const CommitNone uint8 = 0
+
+// Commit is a pending deactivation-time directory update (see
+// Entry.Commit). Req is the active requester; Prev the previous owner
+// captured at activation for kinds that need it.
+type Commit struct {
+	Kind uint8
+	Req  msg.NodeID
+	Prev msg.NodeID
 }
 
 // entrySlabSize is the arena chunk size: entries are allocated in
@@ -211,8 +250,11 @@ type Directory struct {
 	Tokens  int // total tokens per block (PATCH/TokenB); 0 for DIRECTORY
 	entries addrmap.Map[*Entry]
 
-	slab     []Entry
-	slabUsed int
+	// slabs holds every arena chunk ever allocated; Reset rewinds the
+	// carve position so a reused directory re-fills the same storage.
+	slabs    [][]Entry
+	slabCur  int // chunk currently being carved
+	slabUsed int // entries used in slabs[slabCur]
 
 	// LookupLatency is the directory access latency (16 cycles in the
 	// paper); DRAMLatency the memory lookup (80 cycles).
@@ -231,15 +273,32 @@ func New(home msg.NodeID, enc Encoding, tokens int) *Directory {
 	}
 }
 
-// alloc carves one entry out of the slab arena.
+// alloc carves one entry out of the slab arena. After a Reset the
+// returned entry still carries its previous run's contents; the caller
+// reinitialises every field.
 func (d *Directory) alloc() *Entry {
-	if d.slabUsed == len(d.slab) {
-		d.slab = make([]Entry, entrySlabSize)
+	if d.slabCur < len(d.slabs) && d.slabUsed == entrySlabSize {
+		d.slabCur++
 		d.slabUsed = 0
 	}
-	e := &d.slab[d.slabUsed]
+	if d.slabCur == len(d.slabs) {
+		d.slabs = append(d.slabs, make([]Entry, entrySlabSize))
+	}
+	e := &d.slabs[d.slabCur][d.slabUsed]
 	d.slabUsed++
 	return e
+}
+
+// Reset empties the directory for reuse, retaining the index capacity
+// and the entry slabs: entries touched after the reset re-carve the
+// same storage (including each recycled entry's sharer bit vector and
+// queue backing array, when the encoding's size allows). The encoding
+// and token count may change across resets.
+func (d *Directory) Reset(enc Encoding, tokens int) {
+	d.Enc = enc
+	d.Tokens = tokens
+	d.entries.Clear()
+	d.slabCur, d.slabUsed = 0, 0
 }
 
 // Entry returns the entry for addr, creating the initial "all tokens at
@@ -248,10 +307,15 @@ func (d *Directory) Entry(addr msg.Addr) *Entry {
 	p := d.entries.Ptr(addr)
 	if *p == nil {
 		e := d.alloc()
+		// Recycled slab entries donate their sharer vector and queue
+		// capacity to the fresh state.
+		sh := e.Sharers.reuse(d.Enc)
+		q := e.Queue[:0]
 		*e = Entry{
 			Addr:         addr,
 			Owner:        HomeOwner,
-			Sharers:      NewSharerSet(d.Enc),
+			Sharers:      sh,
+			Queue:        q,
 			DataAtMemory: true,
 		}
 		if d.Tokens > 0 {
@@ -260,6 +324,18 @@ func (d *Directory) Entry(addr msg.Addr) *Entry {
 		*p = e
 	}
 	return *p
+}
+
+// PopQueue removes and returns the head of the entry's request queue.
+// The remaining entries shift down so the backing array stays anchored:
+// a Queue[1:] re-slice would walk the array forward and force append to
+// reallocate under steady-state churn.
+func (e *Entry) PopQueue() Pending {
+	p := e.Queue[0]
+	copy(e.Queue, e.Queue[1:])
+	e.Queue[len(e.Queue)-1] = Pending{}
+	e.Queue = e.Queue[:len(e.Queue)-1]
+	return p
 }
 
 // Peek returns the entry if it exists, without creating one.

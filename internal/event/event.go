@@ -82,6 +82,25 @@ type Engine struct {
 // Now returns the current simulated time.
 func (e *Engine) Now() Time { return e.now }
 
+// Reset returns the engine to time zero with an empty queue, retaining
+// the slot and heap capacity so a reused engine schedules without
+// re-growing. Pending events are cancelled (their slots recycled, their
+// Handles invalidated by the generation bump); the sequence counter
+// restarts, so a reset engine orders same-cycle events exactly like a
+// fresh one.
+func (e *Engine) Reset() {
+	for _, en := range e.heap {
+		if e.items[en.idx].gen == en.gen {
+			e.freeItem(en.idx)
+		}
+	}
+	e.heap = e.heap[:0]
+	e.now = 0
+	e.seq = 0
+	e.fired = 0
+	e.maxLen = 0
+}
+
 // Fired returns the number of events executed so far.
 func (e *Engine) Fired() uint64 { return e.fired }
 

@@ -129,6 +129,20 @@ func New(eng *event.Engine, n int, cfg Config) *Network {
 // Topology exposes the underlying torus (for tests and diagnostics).
 func (n *Network) Topology() topology.Torus { return n.topo }
 
+// Reset returns the network to its initial state under cfg, retaining
+// the route cache, the pooled tasks and multicast walks, and the
+// message pool (none of which affect behaviour). The node count is
+// fixed at construction; handler registrations survive, observability
+// hooks are cleared. Reset must only be called when no messages are in
+// flight (a completed, quiesced simulation).
+func (n *Network) Reset(cfg Config) {
+	n.cfg = cfg
+	clear(n.normalHorizon)
+	clear(n.beHorizon)
+	n.Stats = LinkStats{}
+	n.OnSend, n.OnDeliver = nil, nil
+}
+
 // Register installs the message handler for a node. Every node must be
 // registered before traffic is sent to it.
 func (n *Network) Register(id msg.NodeID, h Handler) { n.nodes[id] = h }

@@ -157,51 +157,129 @@ type Outcome struct {
 // blockAddr spreads script blocks across homes.
 func blockAddr(i int) msg.Addr { return msg.Addr(0x100000 + i*64) }
 
-// Run executes the script under one protocol on a system of the given
-// size and verifies the timing-independent coherence axioms. It returns
-// the outcome for cross-protocol comparison.
-func Run(p Protocol, script Script, cores int) (*Outcome, error) {
-	eng := &event.Engine{}
-	net := interconnect.New(eng, cores, interconnect.DefaultConfig())
-	env := protocol.DefaultEnv(eng, net, cores)
+// Harness executes scripts under one protocol on a reusable system:
+// between scripts the engine, network and nodes are Reset rather than
+// rebuilt, driving the same pooled/reused-System discipline the sweep
+// scheduler's per-worker arenas rely on. A stale MSHR, waiter, pooled
+// task or arena entry surviving a Reset surfaces as an axiom violation
+// in a later script, which is exactly what the conformance matrix (run
+// under -race in CI) is pinning.
+type Harness struct {
+	p     Protocol
+	cores int
+	eng   *event.Engine
+	net   *interconnect.Network
+	env   *protocol.Env
+	enc   directory.Encoding
+	nodes []protocol.Node
+	l2    []*cache.Cache
 
-	nodes := make([]protocol.Node, cores)
-	l2 := make([]*cache.Cache, cores)
-	lastPerformed := make([]uint64, cores) // version reported by the observer
-	enc := directory.FullMap(cores)
+	lastPerformed []uint64 // version reported by the observer, per core
+	obs           []func(msg.Addr, bool, uint64)
+	used          bool
+}
+
+// coreCfg returns the PATCH configuration for the harness's variant.
+func (p Protocol) coreCfg() core.Config {
+	switch p {
+	case PATCHNone:
+		return core.Config{Policy: predictor.None, BestEffort: true}
+	case PATCHAll:
+		return core.Config{Policy: predictor.All, BestEffort: true}
+	default: // PATCHAllNonAdaptive
+		return core.Config{Policy: predictor.All}
+	}
+}
+
+// NewHarness assembles a reusable system of the given size for one
+// protocol variant.
+func NewHarness(p Protocol, cores int) (*Harness, error) {
+	h := &Harness{
+		p:             p,
+		cores:         cores,
+		eng:           &event.Engine{},
+		nodes:         make([]protocol.Node, cores),
+		l2:            make([]*cache.Cache, cores),
+		lastPerformed: make([]uint64, cores),
+		enc:           directory.FullMap(cores),
+	}
+	h.net = interconnect.New(h.eng, cores, interconnect.DefaultConfig())
+	h.env = protocol.DefaultEnv(h.eng, h.net, cores)
 	for i := 0; i < cores; i++ {
 		id := msg.NodeID(i)
 		switch p {
 		case Directory:
-			n := directoryproto.New(id, env, enc)
-			nodes[i], l2[i] = n, n.L2
-		case PATCHNone:
-			n := core.New(id, env, enc, core.Config{Policy: predictor.None, BestEffort: true})
-			nodes[i], l2[i] = n, n.L2
-		case PATCHAll:
-			n := core.New(id, env, enc, core.Config{Policy: predictor.All, BestEffort: true})
-			nodes[i], l2[i] = n, n.L2
-		case PATCHAllNonAdaptive:
-			n := core.New(id, env, enc, core.Config{Policy: predictor.All})
-			nodes[i], l2[i] = n, n.L2
+			n := directoryproto.New(id, h.env, h.enc)
+			h.nodes[i], h.l2[i] = n, n.L2
+		case PATCHNone, PATCHAll, PATCHAllNonAdaptive:
+			n := core.New(id, h.env, h.enc, p.coreCfg())
+			h.nodes[i], h.l2[i] = n, n.L2
 		case TokenB:
-			n := tokenb.New(id, env)
-			nodes[i], l2[i] = n, n.L2
+			n := tokenb.New(id, h.env)
+			h.nodes[i], h.l2[i] = n, n.L2
 		default:
 			return nil, fmt.Errorf("litmus: unknown protocol %v", p)
 		}
 		i := i
-		obs := func(_ msg.Addr, _ bool, version uint64) { lastPerformed[i] = version }
-		switch n := nodes[i].(type) {
-		case *directoryproto.Node:
-			n.Observer = obs
-		case *core.Node:
-			n.Observer = obs
-		case *tokenb.Node:
-			n.Observer = obs
-		}
-		net.Register(id, nodes[i].Handle)
+		h.obs = append(h.obs, func(_ msg.Addr, _ bool, version uint64) { h.lastPerformed[i] = version })
+		h.attachObserver(i)
+		h.net.Register(id, h.nodes[i].Handle)
 	}
+	return h, nil
+}
+
+// attachObserver installs core i's (once-built) observer closure.
+func (h *Harness) attachObserver(i int) {
+	switch n := h.nodes[i].(type) {
+	case *directoryproto.Node:
+		n.Observer = h.obs[i]
+	case *core.Node:
+		n.Observer = h.obs[i]
+	case *tokenb.Node:
+		n.Observer = h.obs[i]
+	}
+}
+
+// reset rewinds the reusable system between scripts, re-attaching the
+// observers ResetBase cleared.
+func (h *Harness) reset() {
+	h.eng.Reset()
+	h.net.Reset(interconnect.DefaultConfig())
+	for i, n := range h.nodes {
+		switch v := n.(type) {
+		case *directoryproto.Node:
+			v.Reset(h.enc)
+		case *core.Node:
+			v.Reset(h.enc, h.p.coreCfg())
+		case *tokenb.Node:
+			v.Reset()
+		}
+		h.attachObserver(i)
+		h.lastPerformed[i] = 0
+	}
+}
+
+// Run executes the script under one protocol on a fresh system and
+// verifies the timing-independent coherence axioms. It returns the
+// outcome for cross-protocol comparison.
+func Run(p Protocol, script Script, cores int) (*Outcome, error) {
+	h, err := NewHarness(p, cores)
+	if err != nil {
+		return nil, err
+	}
+	return h.Run(script)
+}
+
+// Run executes one script on the harness, resetting the reused system
+// first if a previous script ran on it.
+func (h *Harness) Run(script Script) (*Outcome, error) {
+	if h.used {
+		h.reset()
+	}
+	h.used = true
+	p, cores := h.p, h.cores
+	eng, nodes, l2 := h.eng, h.nodes, h.l2
+	lastPerformed := h.lastPerformed
 
 	// Split the script into per-core queues preserving program order.
 	queues := make([][]int, cores) // indices into script
@@ -274,7 +352,7 @@ func Run(p Protocol, script Script, cores int) (*Outcome, error) {
 	if err := verifyAxioms(p, script, out); err != nil {
 		return nil, err
 	}
-	if err := verifyTokens(p, nodes, env); err != nil {
+	if err := verifyTokens(p, nodes, h.env); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -350,12 +428,36 @@ func verifyTokens(p Protocol, nodes []protocol.Node, env *protocol.Env) error {
 	return token.CheckConservation(env.Tokens, holders, nil)
 }
 
-// Compare runs the script under every protocol and checks that the
-// outcomes agree where they must: same final version per block.
-func Compare(script Script, cores int) error {
+// Suite holds one reusable harness per protocol variant, so a sequence
+// of scripts runs every protocol on reused (Reset) systems — the
+// conformance matrix drives this to pin the reuse discipline, not just
+// the protocols.
+type Suite struct {
+	cores   int
+	harness [NumProtocols]*Harness
+}
+
+// NewSuite builds the per-protocol harnesses for systems of the given
+// size.
+func NewSuite(cores int) (*Suite, error) {
+	s := &Suite{cores: cores}
+	for p := Protocol(0); p < NumProtocols; p++ {
+		h, err := NewHarness(p, cores)
+		if err != nil {
+			return nil, err
+		}
+		s.harness[p] = h
+	}
+	return s, nil
+}
+
+// Compare runs the script under every protocol of the suite (reusing
+// each protocol's system) and checks that the outcomes agree where they
+// must: same final version per block.
+func (s *Suite) Compare(script Script) error {
 	var outs []*Outcome
 	for p := Protocol(0); p < NumProtocols; p++ {
-		o, err := Run(p, script, cores)
+		o, err := s.harness[p].Run(script)
 		if err != nil {
 			return err
 		}
@@ -371,4 +473,14 @@ func Compare(script Script, cores int) error {
 		}
 	}
 	return nil
+}
+
+// Compare runs the script under every protocol on fresh systems and
+// checks cross-protocol agreement. One-shot form of Suite.Compare.
+func Compare(script Script, cores int) error {
+	s, err := NewSuite(cores)
+	if err != nil {
+		return err
+	}
+	return s.Compare(script)
 }

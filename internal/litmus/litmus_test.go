@@ -69,10 +69,18 @@ func TestConformanceMatrix(t *testing.T) {
 				{"mixed-contention", GenConfig{Cores: sh.cores, Blocks: 3, Ops: 30}},
 				{"store-heavy", GenConfig{Cores: sh.cores, Blocks: 2, Ops: 24, WriteFrac: 0.7, MaxDelay: 8}},
 			}
+			// One Suite per shape: every profile after the first runs on
+			// Reset systems, so the matrix pins the pooled/reused-System
+			// paths (stale MSHRs, waiters, arena entries across resets),
+			// not just the protocols.
+			suite, err := NewSuite(sh.cores)
+			if err != nil {
+				t.Fatal(err)
+			}
 			for pi, prof := range profiles {
 				seed := int64(1000*sh.cores + pi)
 				script := Generate(seed, prof.gc)
-				if err := Compare(script, sh.cores); err != nil {
+				if err := suite.Compare(script); err != nil {
 					t.Errorf("%s (seed %d): %v", prof.name, seed, err)
 				}
 			}
@@ -115,9 +123,15 @@ func TestGenerateDeterministic(t *testing.T) {
 
 func TestRandomScriptsAllProtocols(t *testing.T) {
 	r := rand.New(rand.NewSource(1))
+	// One reused suite across all 15 scripts: each protocol's system is
+	// Reset 14 times, soaking the reuse paths under random contention.
+	suite, err := NewSuite(4)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := 0; i < 15; i++ {
 		script := Random(r, 4, 3, 24)
-		if err := Compare(script, 4); err != nil {
+		if err := suite.Compare(script); err != nil {
 			t.Fatalf("script %d: %v", i, err)
 		}
 	}

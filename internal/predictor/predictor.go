@@ -86,6 +86,23 @@ func New(policy Policy, self msg.NodeID, n int) *Predictor {
 // Policy returns the configured policy.
 func (p *Predictor) Policy() Policy { return p.policy }
 
+// Reset clears all learned state and counters, switching to policy, so
+// a reused predictor behaves exactly like a freshly constructed one.
+// The table storage is retained when the new policy needs one.
+func (p *Predictor) Reset(policy Policy) {
+	p.policy = policy
+	if policy == Owner || policy == BroadcastIfShared {
+		if p.table == nil {
+			p.table = make([]entry, TableEntries)
+		} else {
+			clear(p.table)
+		}
+	} else {
+		p.table = nil
+	}
+	p.Predictions, p.Broadcasts = 0, 0
+}
+
 func (p *Predictor) slot(a msg.Addr) (*entry, uint64) {
 	mb := uint64(a) / MacroblockBytes
 	return &p.table[mb%TableEntries], mb

@@ -8,42 +8,64 @@ import (
 	"patch/internal/msg"
 )
 
-// homeReceive accepts requests and writebacks at the home node, applying
-// the directory lookup latency and the per-block blocking discipline.
-// The delivered message outlives the handler (it is consulted after the
-// lookup delay), so it is retained for the deferred step and released
-// there; requests that must wait in the entry queue are copied by value.
-func (n *Node) homeReceive(now event.Time, m *msg.Message) {
+// homeTask defers a home-side message past the directory lookup
+// latency: the pooled-task replacement for the per-message closure,
+// holding the pool reference the closure used to capture.
+type homeTask struct {
+	n *Node
+	m *msg.Message
+}
+
+// Fire implements event.Task: the directory lookup completed.
+func (t *homeTask) Fire(now event.Time) {
+	n, m := t.n, t.m
+	t.m = nil
+	n.homeFree.Put(t)
+	defer n.Env.Net.Release(m)
+	n.homeReceive(now, m)
+}
+
+// homeDefer holds a reference to the delivered message across the
+// directory lookup latency, then processes it home-side. Requests that
+// must wait in an entry queue are copied by value inside the deferred
+// step, so the pooled message is recycled the moment the lookup
+// completes.
+func (n *Node) homeDefer(m *msg.Message) {
 	n.Env.Net.Retain(m)
-	n.Env.Eng.After(event.Time(n.dir.LookupLatency), func(now event.Time) {
-		defer n.Env.Net.Release(m)
-		e := n.dir.Entry(m.Addr)
-		switch m.Type {
-		case msg.PutM, msg.PutClean:
-			if e.Busy {
-				if e.AwaitingWB && m.Src == e.Active {
-					// The writeback the active transaction is stalled on.
-					n.homeWriteback(e, m)
-					e.AwaitingWB = false
-					resume := e.Resume
-					e.Resume = nil
-					resume()
-					return
-				}
-				e.Queue = append(e.Queue, directory.Pending{Req: m.Src, Transient: m.Detached()})
+	t := n.homeFree.Get()
+	t.n = n
+	t.m = m
+	n.Env.Eng.AfterTask(event.Time(n.dir.LookupLatency), t)
+}
+
+// homeReceive accepts requests and writebacks at the home node (after
+// the lookup delay), applying the per-block blocking discipline.
+func (n *Node) homeReceive(now event.Time, m *msg.Message) {
+	e := n.dir.Entry(m.Addr)
+	switch m.Type {
+	case msg.PutM, msg.PutClean:
+		if e.Busy {
+			if e.AwaitingWB && m.Src == e.Active {
+				// The writeback the active transaction is stalled on:
+				// drain it, then re-service the recorded request.
+				n.homeWriteback(e, m)
+				e.AwaitingWB = false
+				n.homeService(now, e, e.ResumeReq, e.ResumeType)
 				return
 			}
-			n.homeWriteback(e, m)
-		default:
-			if e.Busy {
-				e.Queue = append(e.Queue, directory.Pending{
-					Req: m.Requester, IsWrite: m.IsWrite, Upgrade: m.Type == msg.Upg, Transient: m.Detached(),
-				})
-				return
-			}
-			n.homeActivate(now, e, m)
+			e.Queue = append(e.Queue, directory.Pending{Req: m.Src, Transient: m.Detached()})
+			return
 		}
-	})
+		n.homeWriteback(e, m)
+	default:
+		if e.Busy {
+			e.Queue = append(e.Queue, directory.Pending{
+				Req: m.Requester, IsWrite: m.IsWrite, Upgrade: m.Type == msg.Upg, Transient: m.Detached(),
+			})
+			return
+		}
+		n.homeActivate(now, e, m)
+	}
 }
 
 // homeWriteback retires a writeback: if the writer is still the owner the
@@ -70,45 +92,45 @@ func (n *Node) homeActivate(now event.Time, e *directory.Entry, m *msg.Message) 
 	e.Busy = true
 	e.Active = m.Requester
 	e.ActiveWrite = m.IsWrite
-
-	// service may run later (via e.Resume, after an awaited writeback
-	// lands), so it captures the request's fields rather than the pooled
-	// message itself.
 	r := m.Requester
-	reqType := m.Type
-	service := func() {
-		switch reqType {
-		case msg.GetS:
-			n.homeGetS(now, e, r)
-		case msg.GetM:
-			n.homeGetM(e, r)
-		case msg.Upg:
-			if e.Owner == r {
-				n.homeUpg(e, r)
-			} else {
-				// The upgrader lost ownership to an earlier racing
-				// request; service as a full write miss.
-				n.homeGetM(e, r)
-			}
-		default:
-			panic(fmt.Sprintf("directoryproto: home %d: cannot activate %v from %d", n.ID, reqType, r))
-		}
-	}
+
 	// If the home still believes the requester owns the block (and this
 	// is not an in-place upgrade), the requester must have evicted it:
 	// its writeback is in flight or already queued. Drain it first so the
-	// request can be serviced from memory.
+	// request can be serviced from memory. Servicing may thus run later;
+	// the entry records the request's fields (not the pooled message).
 	if e.Owner == r && m.Type != msg.Upg {
 		if wb, ok := n.takeQueuedWriteback(e, r); ok {
 			n.homeWriteback(e, &wb.Transient)
-			service()
+			n.homeService(now, e, r, m.Type)
 			return
 		}
 		e.AwaitingWB = true
-		e.Resume = service
+		e.ResumeReq = r
+		e.ResumeType = m.Type
 		return
 	}
-	service()
+	n.homeService(now, e, r, m.Type)
+}
+
+// homeService dispatches an activated request to its handler.
+func (n *Node) homeService(now event.Time, e *directory.Entry, r msg.NodeID, reqType msg.Type) {
+	switch reqType {
+	case msg.GetS:
+		n.homeGetS(now, e, r)
+	case msg.GetM:
+		n.homeGetM(e, r)
+	case msg.Upg:
+		if e.Owner == r {
+			n.homeUpg(e, r)
+		} else {
+			// The upgrader lost ownership to an earlier racing
+			// request; service as a full write miss.
+			n.homeGetM(e, r)
+		}
+	default:
+		panic(fmt.Sprintf("directoryproto: home %d: cannot activate %v from %d", n.ID, reqType, r))
+	}
 }
 
 // takeQueuedWriteback removes and returns a queued writeback from src.
@@ -124,10 +146,25 @@ func (n *Node) takeQueuedWriteback(e *directory.Entry, src msg.NodeID) (director
 	return directory.Pending{}, false
 }
 
+// Deactivation-time directory commits (see directory.Entry.Commit).
+const (
+	// commitReadHome installs the reader as owner of a formerly
+	// home-owned block.
+	commitReadHome uint8 = iota + 1
+	// commitRead installs the reader as owner; the previous owner (Prev)
+	// joins the sharer set.
+	commitRead
+	// commitMigratory is the outcome-dependent migratory-read commit:
+	// the deactivation reports whether the conversion happened.
+	commitMigratory
+	// commitWrite installs the writer as owner with no sharers.
+	commitWrite
+)
+
 func (n *Node) homeGetS(now event.Time, e *directory.Entry, r msg.NodeID) {
 	// Migratory detection bookkeeping: remember the most recent reader;
 	// two distinct readers without an intervening write clear the mark.
-	migratory := e.Migratory && e.Owner != directory.HomeOwner && e.Owner != r && noOtherSharers(e, r, e.Owner)
+	migratory := e.Migratory && e.Owner != directory.HomeOwner && e.Owner != r && n.noOtherSharers(e, r, e.Owner)
 	if migratory {
 		n.St.MigratoryUpgrades++
 	} else if e.MigrArmed && e.LastReader != r {
@@ -138,19 +175,12 @@ func (n *Node) homeGetS(now event.Time, e *directory.Entry, r msg.NodeID) {
 
 	if e.Owner == directory.HomeOwner {
 		excl := e.Sharers.Count() == 0
-		e.OnDeactivate = func(*msg.Message) {
-			e.Owner = r
-			if fm := n.dir.Enc.Coarseness == 1; fm {
-				e.Sharers.Remove(r)
-			}
-		}
-		n.Env.Eng.After(event.Time(n.dir.DRAMLatency), func(event.Time) {
-			n.Send(n.Msg(msg.Message{
-				Type: msg.Data, Addr: e.Addr, Dst: r, Requester: r,
-				HasData: true, Owner: true, Exclusive: excl, AcksExpected: 0,
-				Version: e.MemVersion,
-			}))
-		})
+		e.Commit = directory.Commit{Kind: commitReadHome, Req: r}
+		n.SendAfter(event.Time(n.dir.DRAMLatency), n.Msg(msg.Message{
+			Type: msg.Data, Addr: e.Addr, Dst: r, Requester: r,
+			HasData: true, Owner: true, Exclusive: excl, AcksExpected: 0,
+			Version: e.MemVersion,
+		}))
 		return
 	}
 	owner := e.Owner
@@ -159,40 +189,26 @@ func (n *Node) homeGetS(now event.Time, e *directory.Entry, r msg.NodeID) {
 		// copy. The owner declines if it never wrote the block, keeping
 		// an S copy, so the commit depends on the reported outcome.
 		e.MigrAttempted = true
-		prev := e.Owner
-		e.OnDeactivate = func(dm *msg.Message) {
-			e.Owner = r
-			if dm.Migratory {
-				e.Sharers.Clear()
-			} else {
-				e.Sharers.Add(prev)
-				if fm := n.dir.Enc.Coarseness == 1; fm {
-					e.Sharers.Remove(r)
-				}
-			}
-		}
+		e.Commit = directory.Commit{Kind: commitMigratory, Req: r, Prev: e.Owner}
 		n.Send(n.Msg(msg.Message{
 			Type: msg.Fwd, Addr: e.Addr, Dst: owner, Requester: r,
 			ToOwner: true, Migratory: true, AcksExpected: 0,
 		}))
 		return
 	}
-	e.OnDeactivate = func(*msg.Message) {
-		prev := e.Owner
-		e.Owner = r
-		e.Sharers.Add(prev)
-		if fm := n.dir.Enc.Coarseness == 1; fm {
-			e.Sharers.Remove(r)
-		}
-	}
+	e.Commit = directory.Commit{Kind: commitRead, Req: r, Prev: e.Owner}
 	n.Send(n.Msg(msg.Message{
 		Type: msg.Fwd, Addr: e.Addr, Dst: owner, Requester: r,
 		ToOwner: true, AcksExpected: 0,
 	}))
 }
 
-func noOtherSharers(e *directory.Entry, r, owner msg.NodeID) bool {
-	for _, s := range e.Sharers.Members(r) {
+// noOtherSharers reports whether the sharer expansion (excluding r)
+// contains nobody but owner, using the node's scratch buffer.
+func (n *Node) noOtherSharers(e *directory.Entry, r, owner msg.NodeID) bool {
+	members := e.Sharers.AppendMembers(n.Scratch[:0], r)
+	n.Scratch = members[:0]
+	for _, s := range members {
 		if s != owner {
 			return false
 		}
@@ -206,20 +222,15 @@ func (n *Node) homeGetM(e *directory.Entry, r msg.NodeID) {
 	e.Migratory = e.MigrArmed && e.LastReader == r
 	e.MigrArmed = false
 
-	sharers := invalidationTargets(e, r)
+	sharers := n.invalidationTargets(e, r)
 	acks := len(sharers)
-	e.OnDeactivate = func(*msg.Message) {
-		e.Owner = r
-		e.Sharers.Clear()
-	}
+	e.Commit = directory.Commit{Kind: commitWrite, Req: r}
 	if e.Owner == directory.HomeOwner {
-		n.Env.Eng.After(event.Time(n.dir.DRAMLatency), func(event.Time) {
-			n.Send(n.Msg(msg.Message{
-				Type: msg.Data, Addr: e.Addr, Dst: r, Requester: r,
-				HasData: true, Owner: true, Exclusive: acks == 0, AcksExpected: acks,
-				Version: e.MemVersion,
-			}))
-		})
+		n.SendAfter(event.Time(n.dir.DRAMLatency), n.Msg(msg.Message{
+			Type: msg.Data, Addr: e.Addr, Dst: r, Requester: r,
+			HasData: true, Owner: true, Exclusive: acks == 0, AcksExpected: acks,
+			Version: e.MemVersion,
+		}))
 	} else {
 		n.Send(n.Msg(msg.Message{
 			Type: msg.Fwd, Addr: e.Addr, Dst: e.Owner, Requester: r,
@@ -240,12 +251,9 @@ func (n *Node) homeUpg(e *directory.Entry, r msg.NodeID) {
 	e.Migratory = e.MigrArmed && e.LastReader == r
 	e.MigrArmed = false
 
-	sharers := invalidationTargets(e, r)
+	sharers := n.invalidationTargets(e, r)
 	acks := len(sharers)
-	e.OnDeactivate = func(*msg.Message) {
-		e.Owner = r
-		e.Sharers.Clear()
-	}
+	e.Commit = directory.Commit{Kind: commitWrite, Req: r}
 	n.Send(n.Msg(msg.Message{Type: msg.AckCount, Addr: e.Addr, Dst: r, Requester: r, AcksExpected: acks}))
 	if acks > 0 {
 		n.Multicast(n.Msg(msg.Message{
@@ -254,10 +262,13 @@ func (n *Node) homeUpg(e *directory.Entry, r msg.NodeID) {
 	}
 }
 
-// invalidationTargets expands the (possibly inexact) sharer encoding,
-// excluding the requester and the owner (which receives its own forward).
-func invalidationTargets(e *directory.Entry, r msg.NodeID) []msg.NodeID {
-	members := e.Sharers.Members(r)
+// invalidationTargets expands the (possibly inexact) sharer encoding
+// into the node's scratch buffer, excluding the requester and the owner
+// (which receives its own forward). The result is consumed before the
+// buffer's next use.
+func (n *Node) invalidationTargets(e *directory.Entry, r msg.NodeID) []msg.NodeID {
+	members := e.Sharers.AppendMembers(n.Scratch[:0], r)
+	n.Scratch = members[:0] // retain any growth for the next expansion
 	out := members[:0]
 	for _, s := range members {
 		if s != e.Owner {
@@ -267,6 +278,39 @@ func invalidationTargets(e *directory.Entry, r msg.NodeID) []msg.NodeID {
 	return out
 }
 
+// applyCommit performs the deactivation-time directory update recorded
+// at activation (the former OnDeactivate closure, as data).
+func (n *Node) applyCommit(e *directory.Entry, deact *msg.Message) {
+	c := e.Commit
+	e.Commit = directory.Commit{}
+	switch c.Kind {
+	case commitReadHome:
+		e.Owner = c.Req
+		if n.dir.Enc.Coarseness == 1 {
+			e.Sharers.Remove(c.Req)
+		}
+	case commitRead:
+		e.Owner = c.Req
+		e.Sharers.Add(c.Prev)
+		if n.dir.Enc.Coarseness == 1 {
+			e.Sharers.Remove(c.Req)
+		}
+	case commitMigratory:
+		e.Owner = c.Req
+		if deact.Migratory {
+			e.Sharers.Clear()
+		} else {
+			e.Sharers.Add(c.Prev)
+			if n.dir.Enc.Coarseness == 1 {
+				e.Sharers.Remove(c.Req)
+			}
+		}
+	case commitWrite:
+		e.Owner = c.Req
+		e.Sharers.Clear()
+	}
+}
+
 // homeDeactivate commits the active transaction's directory update and
 // services the next queued request or writeback.
 func (n *Node) homeDeactivate(now event.Time, m *msg.Message) {
@@ -274,10 +318,7 @@ func (n *Node) homeDeactivate(now event.Time, m *msg.Message) {
 	if !e.Busy || e.Active != m.Requester {
 		panic(fmt.Sprintf("directoryproto: home %d: spurious deactivate %v", n.ID, m))
 	}
-	if e.OnDeactivate != nil {
-		e.OnDeactivate(m)
-		e.OnDeactivate = nil
-	}
+	n.applyCommit(e, m)
 	if e.MigrAttempted {
 		// The owner reported (via the requester) whether the conversion
 		// actually happened; an unwritten block is not migrating.
@@ -296,8 +337,7 @@ func (n *Node) homeDeactivate(now event.Time, m *msg.Message) {
 
 func (n *Node) drainQueue(now event.Time, e *directory.Entry) {
 	for len(e.Queue) > 0 && !e.Busy {
-		p := e.Queue[0]
-		e.Queue = e.Queue[1:]
+		p := e.PopQueue()
 		switch p.Transient.Type {
 		case msg.PutM, msg.PutClean:
 			n.homeWriteback(e, &p.Transient)

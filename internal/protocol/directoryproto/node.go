@@ -12,6 +12,7 @@ package directoryproto
 import (
 	"fmt"
 
+	"patch/internal/addrmap"
 	"patch/internal/cache"
 	"patch/internal/directory"
 	"patch/internal/event"
@@ -53,7 +54,22 @@ type Node struct {
 	protocol.Base
 	dir   *directory.Directory
 	mshrs map[msg.Addr]*mshr
-	wb    map[msg.Addr]*wbEntry
+
+	// wb is the writeback buffer, keyed by block. A small side table
+	// with frequent insert/delete churn, so it lives in an addrmap (a
+	// few array probes, deterministic iteration, Clear-able for reuse)
+	// rather than a Go map.
+	wb addrmap.Map[wbEntry]
+
+	// mshrFree and homeFree recycle MSHRs and deferred home-lookup
+	// tasks; together with the pooled tasks in protocol.Base they make
+	// the steady-state miss path allocation-free.
+	mshrFree protocol.FreeList[mshr]
+	homeFree protocol.FreeList[homeTask]
+
+	// avoid is the victim filter passed to AllocateAvoid, built once so
+	// the per-miss line installation does not allocate a closure.
+	avoid func(msg.Addr) bool
 }
 
 // New creates a DIRECTORY node.
@@ -62,16 +78,54 @@ func New(id msg.NodeID, env *protocol.Env, enc directory.Encoding) *Node {
 		Base:  protocol.NewBase(id, env),
 		dir:   directory.New(id, enc, 0),
 		mshrs: make(map[msg.Addr]*mshr),
-		wb:    make(map[msg.Addr]*wbEntry),
 	}
+	n.Self = n
+	n.avoid = func(a msg.Addr) bool { _, busy := n.mshrs[a]; return busy }
 	n.dir.LookupLatency = env.DirLatency
 	n.dir.DRAMLatency = env.DRAMLatency
 	return n
 }
 
+// Reset returns the node to its freshly constructed state for enc,
+// retaining allocated capacity (cache arrays, directory slabs and
+// index, writeback table, MSHR and task free-lists). It must only be
+// called on a quiesced node of a drained system; behaviour after a
+// reset is indistinguishable from a new node's.
+func (n *Node) Reset(enc directory.Encoding) {
+	n.ResetBase()
+	n.dir.Reset(enc, 0)
+	n.dir.LookupLatency = n.Env.DirLatency
+	n.dir.DRAMLatency = n.Env.DRAMLatency
+	for _, m := range n.mshrs { // empty on a quiesced node
+		n.freeMSHR(m)
+	}
+	clear(n.mshrs)
+	n.wb.Clear()
+}
+
+// newMSHR acquires a recycled (or new) MSHR initialised for one miss.
+func (n *Node) newMSHR(addr msg.Addr, isWrite bool) *mshr {
+	m := n.mshrFree.Get()
+	*m = mshr{
+		addr: addr, isWrite: isWrite, issued: n.Env.Eng.Now(), acksWant: -1,
+		done: m.done[:0], waiters: m.waiters[:0],
+	}
+	return m
+}
+
+// freeMSHR recycles a retired MSHR, dropping callback references so
+// retired closures stay collectable.
+func (n *Node) freeMSHR(m *mshr) {
+	clear(m.done)
+	m.done = m.done[:0]
+	clear(m.waiters)
+	m.waiters = m.waiters[:0]
+	n.mshrFree.Put(m)
+}
+
 // Quiesced implements protocol.Node.
 func (n *Node) Quiesced() bool {
-	if len(n.mshrs) != 0 || len(n.wb) != 0 {
+	if len(n.mshrs) != 0 || n.wb.Len() != 0 {
 		return false
 	}
 	quiet := true
@@ -121,7 +175,7 @@ func (n *Node) Access(addr msg.Addr, isWrite bool, done func()) {
 		return
 	}
 	n.St.Misses++
-	m := &mshr{addr: addr, isWrite: isWrite, issued: n.Env.Eng.Now(), acksWant: -1}
+	m := n.newMSHR(addr, isWrite)
 	m.done = append(m.done, done)
 	n.mshrs[addr] = m
 
@@ -149,7 +203,7 @@ func (n *Node) sufficient(l *cache.Line, isWrite bool) bool {
 func (n *Node) Handle(now event.Time, m *msg.Message) {
 	switch m.Type {
 	case msg.GetS, msg.GetM, msg.Upg, msg.PutM, msg.PutClean:
-		n.homeReceive(now, m)
+		n.homeDefer(m)
 	case msg.Deactivate:
 		n.homeDeactivate(now, m)
 	case msg.Fwd:
@@ -161,7 +215,7 @@ func (n *Node) Handle(now event.Time, m *msg.Message) {
 	case msg.AckCount:
 		n.cacheAckCount(now, m)
 	case msg.PutAck:
-		delete(n.wb, m.Addr)
+		n.wb.Delete(m.Addr)
 	default:
 		panic(fmt.Sprintf("directoryproto: node %d: unexpected %v", n.ID, m))
 	}
@@ -262,17 +316,14 @@ func (n *Node) maybeComplete(now event.Time, ms *mshr) {
 	}
 	// Replay any accesses that queued behind this miss.
 	for _, w := range ms.waiters {
-		w := w
-		n.Env.Eng.After(1, func(event.Time) { n.Access(ms.addr, w.isWrite, w.done) })
+		n.Replay(1, ms.addr, w.isWrite, w.done)
 	}
+	n.freeMSHR(ms)
 }
 
 // installLine allocates the block, performing victim writebacks.
 func (n *Node) installLine(addr msg.Addr) *cache.Line {
-	line, evicted := n.L2.AllocateAvoid(addr, func(a msg.Addr) bool {
-		_, busy := n.mshrs[a]
-		return busy
-	})
+	line, evicted := n.L2.AllocateAvoid(addr, n.avoid)
 	if evicted.Present {
 		n.evict(&evicted)
 	}
@@ -284,11 +335,11 @@ func (n *Node) evict(l *cache.Line) {
 	switch l.MOESI {
 	case token.M, token.O:
 		n.St.WritebacksDirty++
-		n.wb[l.Addr] = &wbEntry{dirty: true, written: l.Written, version: l.Version}
+		*n.wb.Ptr(l.Addr) = wbEntry{dirty: true, written: l.Written, version: l.Version}
 		n.Send(n.Msg(msg.Message{Type: msg.PutM, Addr: l.Addr, Dst: n.Env.HomeOf(l.Addr), Requester: n.ID, HasData: true, Version: l.Version}))
 	case token.E, token.F:
 		n.St.WritebacksClean++
-		n.wb[l.Addr] = &wbEntry{dirty: false, version: l.Version}
+		*n.wb.Ptr(l.Addr) = wbEntry{dirty: false, version: l.Version}
 		n.Send(n.Msg(msg.Message{Type: msg.PutClean, Addr: l.Addr, Dst: n.Env.HomeOf(l.Addr), Requester: n.ID}))
 	case token.S:
 		// Silent eviction of shared blocks: the directory's sharer bit
@@ -315,12 +366,12 @@ func (n *Node) cacheFwd(now event.Time, m *msg.Message) {
 	dirty, written := false, false
 	var version uint64
 	if line == nil {
-		w := n.wb[m.Addr]
-		if w == nil {
+		w, ok := n.wb.Get(m.Addr)
+		if !ok {
 			panic(fmt.Sprintf("directoryproto: node %d: owner forward but no line or wb: %v", n.ID, m))
 		}
 		dirty, written, version = w.dirty, w.written, w.version
-		delete(n.wb, m.Addr) // home will see a stale writeback and drop it
+		n.wb.Delete(m.Addr) // home will see a stale writeback and drop it
 	} else {
 		dirty = line.MOESI == token.M || line.MOESI == token.O
 		written = line.Written

@@ -99,6 +99,11 @@ type Base struct {
 	L2  *cache.Cache
 	St  Stats
 
+	// Self is the protocol node embedding this Base, set once at
+	// construction; the pooled replay tasks call Self.Access without
+	// allocating a method-value closure.
+	Self Node
+
 	// Observer, when set, is invoked at the instant each memory operation
 	// is performed, with the block's write version at that point (the
 	// version a load observed, or the version a store produced). Checkers
@@ -112,7 +117,40 @@ type Base struct {
 
 	// others caches the OthersExcept broadcast set.
 	others []msg.NodeID
+
+	// Scratch is a per-node destination-id scratch buffer for
+	// SharerSet.AppendMembers expansions on the hot path; each use
+	// re-slices it to zero length and consumes the result before the
+	// next use.
+	Scratch []msg.NodeID
+
+	// replayFree and sendFree pool the node's deferred-work tasks so
+	// steady-state waiter replays and delayed sends allocate nothing.
+	replayFree FreeList[replayTask]
+	sendFree   FreeList[sendTask]
 }
+
+// FreeList is the shared recycling discipline for pooled per-node
+// values (MSHRs, deferred home/timer/replay/send tasks): Get pops a
+// recycled value or allocates a zero one, Put pushes one back. Callers
+// reinitialise recycled values themselves — retaining grown capacity
+// (a recycled MSHR's waiter slices) is the point — and must drop
+// references (callbacks, pooled messages) before Put so retired work
+// stays collectable.
+type FreeList[T any] struct{ free []*T }
+
+// Get pops a recycled value, or allocates a zero one.
+func (f *FreeList[T]) Get() *T {
+	if n := len(f.free); n > 0 {
+		t := f.free[n-1]
+		f.free = f.free[:n-1]
+		return t
+	}
+	return new(T)
+}
+
+// Put recycles a value.
+func (f *FreeList[T]) Put(t *T) { f.free = append(f.free, t) }
 
 // NewBase constructs the cache hierarchy with the paper's sizes.
 func NewBase(id msg.NodeID, env *Env) Base {
@@ -137,6 +175,72 @@ func (b *Base) ObservePerform(addr msg.Addr, isWrite bool, version uint64) {
 	if b.Observer != nil {
 		b.Observer(addr, isWrite, version)
 	}
+}
+
+// ResetBase returns the shared node state to its freshly constructed
+// condition (empty caches, zero statistics, initial RTT estimate),
+// retaining the cache arrays, scratch buffers and task free-lists. The
+// protocol node layered above is responsible for its own state.
+func (b *Base) ResetBase() {
+	b.L1.Reset()
+	b.L2.Reset()
+	b.St = Stats{}
+	b.Observer = nil
+	b.avgRTT = 100
+}
+
+// replayTask re-issues an access that queued behind an outstanding miss
+// once the miss retires: the pooled-task replacement for the per-waiter
+// closure the protocols used to schedule.
+type replayTask struct {
+	b       *Base
+	addr    msg.Addr
+	isWrite bool
+	done    func()
+}
+
+// Fire implements event.Task.
+func (t *replayTask) Fire(event.Time) {
+	b, addr, isWrite, done := t.b, t.addr, t.isWrite, t.done
+	t.done = nil
+	b.replayFree.Put(t)
+	b.Self.Access(addr, isWrite, done)
+}
+
+// Replay schedules Self.Access(addr, isWrite, done) d cycles from now
+// using a pooled task, so replaying queued waiters allocates nothing in
+// steady state.
+func (b *Base) Replay(d event.Time, addr msg.Addr, isWrite bool, done func()) {
+	t := b.replayFree.Get()
+	t.b = b
+	t.addr, t.isWrite, t.done = addr, isWrite, done
+	b.Env.Eng.AfterTask(d, t)
+}
+
+// sendTask sends a prepared message when its delay elapses: the pooled
+// replacement for After(d, func(){ Send(m) }) closures on home paths
+// (directory and DRAM latencies).
+type sendTask struct {
+	b *Base
+	m *msg.Message
+}
+
+// Fire implements event.Task.
+func (t *sendTask) Fire(event.Time) {
+	b, m := t.b, t.m
+	t.m = nil
+	b.sendFree.Put(t)
+	b.Send(m)
+}
+
+// SendAfter sends m (stamping the source at fire time, like Send) after
+// d cycles, without allocating. The caller's reference to a pooled m is
+// consumed when the send fires.
+func (b *Base) SendAfter(d event.Time, m *msg.Message) {
+	t := b.sendFree.Get()
+	t.b = b
+	t.m = m
+	b.Env.Eng.AfterTask(d, t)
 }
 
 // ResetStats clears the performance counters (after cache warmup) while

@@ -10,6 +10,7 @@ package tokenb
 import (
 	"fmt"
 
+	"patch/internal/addrmap"
 	"patch/internal/cache"
 	"patch/internal/directory"
 	"patch/internal/event"
@@ -67,8 +68,18 @@ type Node struct {
 	persistentTable map[msg.Addr]msg.NodeID
 
 	// arbiters holds the per-block arbitration state for blocks homed
-	// here.
-	arbiters map[msg.Addr]*arbiterState
+	// here. Arbiter entries are created on first escalation and never
+	// deleted, the insert-only access pattern addrmap serves with a few
+	// array probes and deterministic Clear-able storage.
+	arbiters addrmap.Map[arbiterState]
+
+	// mshrFree recycles MSHRs; together with the pooled tasks in
+	// protocol.Base it makes the steady-state miss path allocation-free.
+	mshrFree protocol.FreeList[mshr]
+
+	// avoid is the victim filter passed to AllocateAvoid, built once so
+	// the per-miss line installation does not allocate a closure.
+	avoid func(msg.Addr) bool
 }
 
 // New creates a TokenB node.
@@ -78,11 +89,52 @@ func New(id msg.NodeID, env *protocol.Env) *Node {
 		mem:             directory.New(id, directory.FullMap(env.N), env.Tokens),
 		mshrs:           make(map[msg.Addr]*mshr),
 		persistentTable: make(map[msg.Addr]msg.NodeID),
-		arbiters:        make(map[msg.Addr]*arbiterState),
 	}
+	n.Self = n
+	n.avoid = func(a msg.Addr) bool { _, busy := n.mshrs[a]; return busy }
 	n.mem.DRAMLatency = env.DRAMLatency
 	n.mem.LookupLatency = env.DirLatency
 	return n
+}
+
+// Reset returns the node to its freshly constructed state, retaining
+// allocated capacity (cache arrays, token-store slabs and index,
+// arbiter table, MSHR and task free-lists). It must only be called on a
+// quiesced node of a drained system; behaviour after a reset is
+// indistinguishable from a new node's.
+func (n *Node) Reset() {
+	n.ResetBase()
+	n.mem.Reset(directory.FullMap(n.Env.N), n.Env.Tokens)
+	n.mem.DRAMLatency = n.Env.DRAMLatency
+	n.mem.LookupLatency = n.Env.DirLatency
+	for _, m := range n.mshrs { // empty on a quiesced node
+		m.timer.Cancel()
+		n.freeMSHR(m)
+	}
+	clear(n.mshrs)
+	clear(n.persistentTable)
+	n.arbiters.Clear()
+}
+
+// newMSHR acquires a recycled (or new) MSHR initialised for one miss.
+func (n *Node) newMSHR(addr msg.Addr, isWrite bool) *mshr {
+	m := n.mshrFree.Get()
+	*m = mshr{
+		addr: addr, isWrite: isWrite, issued: n.Env.Eng.Now(),
+		done: m.done[:0], waiters: m.waiters[:0], n: n,
+	}
+	return m
+}
+
+// freeMSHR recycles a retired MSHR. The caller must already have
+// cancelled its timer and removed it from the MSHR table; callback
+// references are dropped so retired closures stay collectable.
+func (n *Node) freeMSHR(m *mshr) {
+	clear(m.done)
+	m.done = m.done[:0]
+	clear(m.waiters)
+	m.waiters = m.waiters[:0]
+	n.mshrFree.Put(m)
 }
 
 // Memory exposes the home token store for conservation checks.
@@ -93,12 +145,13 @@ func (n *Node) Quiesced() bool {
 	if len(n.mshrs) != 0 || len(n.persistentTable) != 0 {
 		return false
 	}
-	for _, a := range n.arbiters {
+	quiet := true
+	n.arbiters.ForEach(func(_ msg.Addr, a *arbiterState) {
 		if a.busy || len(a.queue) != 0 {
-			return false
+			quiet = false
 		}
-	}
-	return true
+	})
+	return quiet
 }
 
 // Access implements protocol.Node.
@@ -133,7 +186,7 @@ func (n *Node) Access(addr msg.Addr, isWrite bool, done func()) {
 		return
 	}
 	n.St.Misses++
-	m := &mshr{addr: addr, isWrite: isWrite, issued: n.Env.Eng.Now(), n: n}
+	m := n.newMSHR(addr, isWrite)
 	m.done = append(m.done, done)
 	n.mshrs[addr] = m
 	n.broadcast(m, false)
@@ -351,7 +404,7 @@ func (n *Node) memRespond(m *msg.Message) {
 	if resp.HasData {
 		lat += event.Time(n.mem.DRAMLatency)
 	}
-	n.Env.Eng.After(lat, func(event.Time) { n.Send(resp) })
+	n.SendAfter(lat, resp)
 }
 
 // response receives tokens at the requester (or forwards them onward if
@@ -421,17 +474,14 @@ func (n *Node) response(now event.Time, m *msg.Message) {
 		d()
 	}
 	for _, w := range ms.waiters {
-		w := w
-		n.Env.Eng.After(1, func(event.Time) { n.Access(ms.addr, w.isWrite, w.done) })
+		n.Replay(1, ms.addr, w.isWrite, w.done)
 	}
+	n.freeMSHR(ms)
 }
 
 // installLine allocates with non-silent token evictions.
 func (n *Node) installLine(addr msg.Addr) *cache.Line {
-	line, evicted := n.L2.AllocateAvoid(addr, func(a msg.Addr) bool {
-		_, busy := n.mshrs[a]
-		return busy
-	})
+	line, evicted := n.L2.AllocateAvoid(addr, n.avoid)
 	if evicted.Present {
 		n.evict(&evicted)
 	}
@@ -486,11 +536,7 @@ func (n *Node) memTokens(now event.Time, m *msg.Message) {
 // arbiterRequest queues a starving requester; if the block has no active
 // persistent request it is activated immediately.
 func (n *Node) arbiterRequest(m *msg.Message) {
-	a := n.arbiters[m.Addr]
-	if a == nil {
-		a = &arbiterState{}
-		n.arbiters[m.Addr] = a
-	}
+	a := n.arbiters.Ptr(m.Addr)
 	if a.busy {
 		a.queue = append(a.queue, m.Requester)
 		return
@@ -546,7 +592,7 @@ func (n *Node) persistentActivate(now event.Time, m *msg.Message) {
 				resp.Type = msg.Data
 			}
 			token.Attach(resp, tokens, owner, false, owner)
-			n.Env.Eng.After(event.Time(n.mem.DRAMLatency), func(event.Time) { n.Send(resp) })
+			n.SendAfter(event.Time(n.mem.DRAMLatency), resp)
 		}
 	}
 }
@@ -554,8 +600,13 @@ func (n *Node) persistentActivate(now event.Time, m *msg.Message) {
 // arbiterDeact ends the active persistent request and activates the next
 // queued one.
 func (n *Node) arbiterDeact(m *msg.Message) {
-	a := n.arbiters[m.Addr]
-	if a == nil || !a.busy || a.active != m.Requester {
+	// The entry must exist (Ptr would silently create one); the pointer
+	// stays valid through the body, which never inserts into arbiters.
+	if _, ok := n.arbiters.Get(m.Addr); !ok {
+		panic(fmt.Sprintf("tokenb: arbiter %d: spurious deactivation %v", n.ID, m))
+	}
+	a := n.arbiters.Ptr(m.Addr)
+	if !a.busy || a.active != m.Requester {
 		panic(fmt.Sprintf("tokenb: arbiter %d: spurious deactivation %v", n.ID, m))
 	}
 	deact := n.Msg(msg.Message{
@@ -567,8 +618,11 @@ func (n *Node) arbiterDeact(m *msg.Message) {
 	a.busy = false
 	a.active = 0
 	if len(a.queue) > 0 {
+		// Shift rather than re-slice, so the queue's backing array stays
+		// anchored and steady-state churn reuses its capacity.
 		next := a.queue[0]
-		a.queue = a.queue[1:]
+		copy(a.queue, a.queue[1:])
+		a.queue = a.queue[:len(a.queue)-1]
 		a.busy = true
 		a.active = next
 		n.broadcastActivation(m.Addr, next)

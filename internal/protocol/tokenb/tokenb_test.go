@@ -257,7 +257,7 @@ func TestPersistentActivationDirect(t *testing.T) {
 	}
 	c.checkConservation(t)
 	c.checkQuiesced(t)
-	if len(c.nodes[2].arbiters) == 0 {
+	if c.nodes[2].arbiters.Len() == 0 {
 		t.Fatal("arbiter state never created at the home")
 	}
 }

@@ -5,6 +5,7 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 	"io"
 
@@ -190,8 +191,12 @@ type System struct {
 
 	// orderViolation records the first per-core coherence-order violation
 	// seen by the online observer (a core reading an older write version
-	// than one it already observed for the block).
+	// than one it already observed for the block). lastSeen and obsFns
+	// are the per-core observer state, built once and arena-reused
+	// (Cleared) across Resets like the rest of the checking state.
 	orderViolation error
+	lastSeen       []*addrmap.Map[uint64]
+	obsFns         []func(addr msg.Addr, isWrite bool, version uint64)
 
 	// closer releases the trace replay's file or mapping (streaming
 	// replays keep the trace open for the whole run); Run closes it.
@@ -221,6 +226,106 @@ func (s *System) AttachTracer(tr *trace.Tracer) {
 		}
 		tr.Observe(now, m)
 	}
+}
+
+// ErrIncompatibleReset reports a Reset whose configuration cannot reuse
+// the assembled system (different protocol or core count); the caller
+// should build a fresh System instead.
+var ErrIncompatibleReset = errors.New("sim: incompatible configuration for System reset")
+
+// Reset returns a completed System to its pre-run state under cfg, so
+// the same arenas — event slots, message pool, cache arrays, directory
+// slabs, MSHR and task free-lists — serve another run without
+// rebuilding the world. The configuration may change anything except
+// the protocol and core count (ErrIncompatibleReset otherwise; the
+// caller then constructs a fresh System). A reset that fails opening
+// the workload leaves the System untouched and still resettable.
+//
+// Reset must only be called on a freshly built System or one whose Run
+// completed successfully: a failed run (deadlock, watchdog, invariant
+// violation) leaves in-flight state nothing rewinds, so such a System
+// must be discarded. A reset System's Run output is byte-identical to
+// a freshly constructed System's, pinned by TestResetMatchesFresh
+// against the golden configurations.
+func (s *System) Reset(cfg Config) error {
+	cfg = cfg.withDefaults()
+	if cfg.Protocol != s.Cfg.Protocol || cfg.Cores != s.Cfg.Cores {
+		return ErrIncompatibleReset
+	}
+	enc := directory.Encoding{Cores: cfg.Cores, Coarseness: cfg.Coarseness}
+	if err := enc.Validate(); err != nil {
+		return err
+	}
+	var gen workload.Generator
+	var closer io.Closer
+	if cfg.TraceFile != "" {
+		replay, err := workload.OpenTrace(cfg.TraceFile, cfg.Cores)
+		if err != nil {
+			return err
+		}
+		if total := replay.Len(); cfg.WarmupOps+cfg.OpsPerCore > total {
+			replay.Close()
+			return fmt.Errorf("sim: trace has %d ops/core, need %d warmup + %d measured",
+				total, cfg.WarmupOps, cfg.OpsPerCore)
+		}
+		gen, closer = replay, replay
+	} else {
+		var err error
+		gen, err = workload.Named(cfg.Workload, cfg.Cores, cfg.Seed)
+		if err != nil {
+			return err
+		}
+	}
+	s.Close() // release a replay left by an unrun assembly
+	s.Cfg = cfg
+	s.Gen, s.closer = gen, closer
+	s.Eng.Reset()
+	s.Net.Reset(cfg.Net)
+	s.warming = false
+	s.warmFinished, s.finished = 0, 0
+	s.opsIssued = 0
+	s.startedAt, s.doneAt = 0, 0
+	s.orderViolation = nil
+	if cfg.SkipChecks {
+		s.storeCounts, s.auditor = nil, nil
+	} else {
+		// The checking state is itself arena-reused: the store-count
+		// table and auditor keep their grown capacity across runs.
+		if s.storeCounts == nil {
+			s.storeCounts = new(addrmap.Map[uint64])
+		} else {
+			s.storeCounts.Clear()
+		}
+		if cfg.Protocol == PATCH || cfg.Protocol == TokenB {
+			if s.auditor == nil {
+				s.auditor = trace.NewAuditor(s.Env.Tokens)
+			} else {
+				s.auditor.Reset(s.Env.Tokens)
+			}
+			s.Net.OnSend = func(_ event.Time, m *msg.Message) { s.auditor.Sent(m) }
+			s.Net.OnDeliver = func(_ event.Time, m *msg.Message) { s.auditor.Delivered(m) }
+		} else {
+			s.auditor = nil
+		}
+	}
+	for i := range s.Nodes {
+		switch v := s.Nodes[i].(type) {
+		case *directoryproto.Node:
+			v.Reset(enc)
+		case *core.Node:
+			v.Reset(enc, core.Config{
+				Policy: cfg.Policy, BestEffort: cfg.BestEffort,
+				TenureTimeoutFactor: cfg.TenureTimeoutFactor,
+				NoDeactWindow:       cfg.NoDeactWindow,
+			})
+		case *tokenb.Node:
+			v.Reset()
+		}
+		if !cfg.SkipChecks {
+			s.attachOrderChecker(i)
+		}
+	}
+	return nil
 }
 
 // NewSystem builds (but does not run) a system.
@@ -295,21 +400,33 @@ func NewSystem(cfg Config) (*System, error) {
 	return s, nil
 }
 
-// attachOrderChecker installs an online per-core coherence-order monitor:
-// each core must observe non-decreasing write versions per block.
+// attachOrderChecker installs an online per-core coherence-order
+// monitor: each core must observe non-decreasing write versions per
+// block. The per-core version table and observer closure are built on
+// first attach and reused (the table Cleared) on later Resets.
 func (s *System) attachOrderChecker(i int) {
-	lastSeen := new(addrmap.Map[uint64])
-	obs := func(addr msg.Addr, isWrite bool, version uint64) {
-		// Versions only grow, so "never observed" (zero) cannot trip the
-		// non-decreasing check.
-		p := lastSeen.Ptr(addr)
-		if version < *p && s.orderViolation == nil {
-			s.orderViolation = fmt.Errorf(
-				"sim: coherence order violated: core %d observed version %d after %d for %#x",
-				i, version, *p, uint64(addr))
-		}
-		*p = version
+	if s.lastSeen == nil {
+		s.lastSeen = make([]*addrmap.Map[uint64], s.Cfg.Cores)
+		s.obsFns = make([]func(msg.Addr, bool, uint64), s.Cfg.Cores)
 	}
+	if s.lastSeen[i] == nil {
+		lastSeen := new(addrmap.Map[uint64])
+		s.lastSeen[i] = lastSeen
+		s.obsFns[i] = func(addr msg.Addr, isWrite bool, version uint64) {
+			// Versions only grow, so "never observed" (zero) cannot trip
+			// the non-decreasing check.
+			p := lastSeen.Ptr(addr)
+			if version < *p && s.orderViolation == nil {
+				s.orderViolation = fmt.Errorf(
+					"sim: coherence order violated: core %d observed version %d after %d for %#x",
+					i, version, *p, uint64(addr))
+			}
+			*p = version
+		}
+	} else {
+		s.lastSeen[i].Clear()
+	}
+	obs := s.obsFns[i]
 	switch v := s.Nodes[i].(type) {
 	case *directoryproto.Node:
 		v.Observer = obs
@@ -376,16 +493,20 @@ func (it *issuer) Fire(event.Time) {
 }
 
 // start seeds each core's operation loop: an optional warmup phase with
-// a barrier, then the measured phase.
+// a barrier, then the measured phase. The issuer slice and each core's
+// advance closure are built once and survive Reset (the core count is
+// fixed for the System's lifetime).
 func (s *System) start() {
-	s.issuers = make([]issuer, s.Cfg.Cores)
-	for c := range s.issuers {
-		it := &s.issuers[c]
-		it.s = s
-		it.c = c
-		it.advance = func() {
-			it.remaining--
-			it.pull()
+	if s.issuers == nil {
+		s.issuers = make([]issuer, s.Cfg.Cores)
+		for c := range s.issuers {
+			it := &s.issuers[c]
+			it.s = s
+			it.c = c
+			it.advance = func() {
+				it.remaining--
+				it.pull()
+			}
 		}
 	}
 	if s.Cfg.WarmupOps > 0 {

@@ -102,6 +102,15 @@ func NewAuditor(total int) *Auditor {
 	return &Auditor{Total: total, inflight: make(map[msg.Addr]inflightTokens)}
 }
 
+// Reset clears all recorded state for total tokens per block, so a
+// reused simulation keeps its auditor (and the map capacity it grew)
+// across runs.
+func (a *Auditor) Reset(total int) {
+	a.Total = total
+	clear(a.inflight)
+	a.Violations = nil
+}
+
 // Sent notes a token-carrying message entering the network.
 func (a *Auditor) Sent(m *msg.Message) {
 	if m.Tokens == 0 && !m.Owner {

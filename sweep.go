@@ -8,6 +8,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"patch/internal/sim"
 	"patch/internal/stats"
 )
 
@@ -388,6 +389,8 @@ func Sweep(ctx context.Context, m Matrix, opts ...SweepOption) (*SweepResult, er
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			worker := &sweepWorker{}
+			defer worker.discard()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= total || ctx.Err() != nil {
@@ -395,7 +398,7 @@ func Sweep(ctx context.Context, m Matrix, opts ...SweepOption) (*SweepResult, er
 				}
 				rep := p.replicas[i]
 				cfg := p.config(rep)
-				r, err := run(cfg)
+				r, err := run(worker, cfg)
 				mu.Lock()
 				if err != nil {
 					fail(fmt.Errorf("patch: %s seed %d: %w", p.cells[rep.cell].label, cfg.Seed, err))
@@ -437,11 +440,69 @@ func Sweep(ctx context.Context, m Matrix, opts ...SweepOption) (*SweepResult, er
 	return out, nil
 }
 
-// runReplica executes one replica's simulation. A package variable so
-// scheduler tests can substitute an instrumented runner and observe
-// scheduling behaviour (pool fill, overlap) without real simulations;
-// everything else always leaves it as Run.
-var runReplica = Run
+// sweepWorker is one worker's reusable simulation arena: consecutive
+// compatible replicas (same protocol and core count) Reset and reuse a
+// single sim.System — its event slots, message pool, cache arrays and
+// directory slabs — instead of rebuilding the world per replica;
+// incompatible cells rebuild it. Replica results are independent of the
+// worker's history (Reset is byte-identical to fresh construction, see
+// internal/sim), so sweep output stays bit-identical at any worker
+// count and any replica-to-worker assignment.
+type sweepWorker struct {
+	sys *sim.System
+}
+
+// run executes one replica on the worker, reusing its System when
+// compatible.
+func (w *sweepWorker) run(cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	sc := cfg.toSim()
+	if w.sys != nil {
+		switch err := w.sys.Reset(sc); {
+		case err == nil:
+			r, err := w.sys.Run()
+			if err != nil {
+				// A failed run leaves in-flight state Reset cannot
+				// rewind; the System must not be reused.
+				w.discard()
+				return nil, err
+			}
+			return fromSim(r), nil
+		case errors.Is(err, sim.ErrIncompatibleReset):
+			w.discard()
+		default:
+			return nil, err
+		}
+	}
+	sys, err := sim.NewSystem(sc)
+	if err != nil {
+		return nil, err
+	}
+	r, err := sys.Run()
+	if err != nil {
+		return nil, err
+	}
+	w.sys = sys
+	return fromSim(r), nil
+}
+
+// discard drops the worker's System (releasing any trace replay it
+// still holds), forcing the next replica to build fresh.
+func (w *sweepWorker) discard() {
+	if w.sys != nil {
+		w.sys.Close()
+		w.sys = nil
+	}
+}
+
+// runReplica executes one replica's simulation on a worker. A package
+// variable so scheduler tests can substitute an instrumented runner and
+// observe scheduling behaviour (pool fill, overlap) without real
+// simulations; everything else always leaves it as the worker's
+// reuse-aware runner.
+var runReplica = (*sweepWorker).run
 
 // summarize folds one cell's seeded runs into a Summary, in seed order.
 func summarize(runs []*Result) *Summary {

@@ -9,11 +9,12 @@ import (
 )
 
 // withFakeRunner substitutes the replica runner for the duration of one
-// test, so scheduling behaviour is observable without real simulations.
+// test, so scheduling behaviour is observable without real simulations
+// (the worker's reusable System stays nil and unused).
 func withFakeRunner(t *testing.T, run func(Config) (*Result, error)) {
 	t.Helper()
 	old := runReplica
-	runReplica = run
+	runReplica = func(_ *sweepWorker, cfg Config) (*Result, error) { return run(cfg) }
 	t.Cleanup(func() { runReplica = old })
 }
 
