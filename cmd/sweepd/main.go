@@ -1,0 +1,160 @@
+// Command sweepd is the sweep-as-a-service farm daemon and its
+// satellite roles. One binary, three modes:
+//
+//	sweepd -listen :8080 -cache /var/cache/sweepd
+//	    serve: accept matrix jobs over HTTP, run them on a local pool,
+//	    stream progress, serve results, and share a content-addressed
+//	    result cache across jobs. SIGINT/SIGTERM drains gracefully:
+//	    admission stops, running and queued jobs finish, then the
+//	    process exits.
+//
+//	sweepd -worker http://farm:8080
+//	    worker: join a farm, claim replica ranges over the same HTTP
+//	    API, simulate them on a reusable arena, and post results back.
+//
+//	sweepd -local -matrix m.json
+//	    local: run the same JSON matrix in-process and print emitter
+//	    output to stdout — the reference the served bytes must equal.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"patch"
+	"patch/service"
+)
+
+func main() {
+	listen := flag.String("listen", ":8080", "serve mode: listen address")
+	cacheDir := flag.String("cache", "", "serve mode: on-disk result cache directory (empty: memory only)")
+	maxJobs := flag.Int("max-jobs", 2, "serve mode: concurrently running jobs; excess queue FIFO")
+	workers := flag.Int("workers", 0, "serve/local mode: local pool size (0: GOMAXPROCS)")
+	lease := flag.Duration("lease", 2*time.Minute, "serve mode: remote claim lease before a replica is re-issued")
+	drainTimeout := flag.Duration("drain-timeout", time.Minute, "serve mode: how long to let jobs finish on SIGTERM before cancelling")
+
+	workerURL := flag.String("worker", "", "worker mode: farm base URL to join (e.g. http://host:8080)")
+	batch := flag.Int("batch", 4, "worker mode: replicas claimed per round trip")
+	oneShot := flag.Bool("one-shot", false, "worker mode: exit at the first empty claim instead of polling")
+
+	local := flag.Bool("local", false, "local mode: run -matrix in-process and print to stdout")
+	matrixFile := flag.String("matrix", "", "local mode: matrix JSON file (\"-\": stdin)")
+	format := flag.String("format", "csv", "local mode: output format: csv, json, markdown, chart")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var err error
+	switch {
+	case *local:
+		err = runLocal(ctx, *matrixFile, *format, *workers)
+	case *workerURL != "":
+		err = runWorkerMode(ctx, *workerURL, *batch, *oneShot)
+	default:
+		err = serve(ctx, *listen, *cacheDir, *maxJobs, *workers, *lease, *drainTimeout)
+	}
+	if err != nil && !errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "sweepd:", err)
+		os.Exit(1)
+	}
+}
+
+func serve(ctx context.Context, listen, cacheDir string, maxJobs, workers int, lease, drainTimeout time.Duration) error {
+	cache, err := service.NewResultCache(cacheDir)
+	if err != nil {
+		return err
+	}
+	srv := service.New(service.Config{
+		MaxJobs: maxJobs,
+		Workers: workers,
+		Cache:   cache,
+		Lease:   lease,
+	})
+	hs := &http.Server{Addr: listen, Handler: srv}
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("sweepd: serving on %s (cache: %s)", listen, cacheOrMem(cacheDir))
+		if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			errc <- err
+		}
+	}()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	log.Printf("sweepd: draining (up to %s)...", drainTimeout)
+	dctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := srv.Drain(dctx); err != nil {
+		log.Printf("sweepd: drain incomplete, jobs cancelled: %v", err)
+	}
+	sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer scancel()
+	return hs.Shutdown(sctx)
+}
+
+func cacheOrMem(dir string) string {
+	if dir == "" {
+		return "memory only"
+	}
+	return dir
+}
+
+func runWorkerMode(ctx context.Context, base string, batch int, oneShot bool) error {
+	client := &service.Client{Base: base}
+	return service.RunWorker(ctx, client, service.WorkerConfig{
+		Batch:   batch,
+		OneShot: oneShot,
+		Log:     log.Printf,
+	})
+}
+
+func runLocal(ctx context.Context, matrixFile, format string, workers int) error {
+	if matrixFile == "" {
+		return errors.New("-local needs -matrix FILE (\"-\" for stdin)")
+	}
+	var rd io.Reader = os.Stdin
+	if matrixFile != "-" {
+		f, err := os.Open(matrixFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		rd = f
+	}
+	var m patch.Matrix
+	dec := json.NewDecoder(rd)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&m); err != nil {
+		return fmt.Errorf("bad matrix: %w", err)
+	}
+	var e patch.Emitter
+	switch format {
+	case "csv":
+		e = &patch.CSVEmitter{W: os.Stdout}
+	case "json":
+		e = &patch.JSONEmitter{W: os.Stdout}
+	case "markdown":
+		e = &patch.MarkdownEmitter{W: os.Stdout}
+	case "chart":
+		e = &patch.ChartEmitter{W: os.Stdout}
+	default:
+		return fmt.Errorf("unknown format %q", format)
+	}
+	_, err := patch.Sweep(ctx, m, patch.Workers(workers), patch.EmitTo(e))
+	return err
+}

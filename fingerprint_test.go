@@ -1,0 +1,92 @@
+package patch
+
+import "testing"
+
+// fpBase is a fully explicit configuration exercising every
+// fingerprinted field.
+func fpBase() Config {
+	return Config{
+		Protocol: PATCH, Variant: VariantAll,
+		Cores: 64, Workload: "oltp", OpsPerCore: 600, WarmupOps: 1500,
+		Seed: 7, BandwidthBytesPerKiloCycle: 2000, DirectoryCoarseness: 4,
+		TenureTimeoutFactor: 2,
+	}
+}
+
+// TestFingerprintGolden pins the canonical form: the fingerprint of a
+// known configuration must never drift. Field-order changes in Config
+// cannot move this hash (the canonical encoding enumerates fields in
+// its own fixed order); this test catches the accidental kind of drift
+// — an edit to the canonical encoder or the normalisation rules.
+// Deliberate changes must bump fingerprintVersion and this constant,
+// invalidating every on-disk cache entry at once.
+func TestFingerprintGolden(t *testing.T) {
+	const want = "63d77ec13d0932089d04af55d388731d38096974e658107703a3d8aaee73f977"
+	if got := fpBase().Fingerprint(); got != want {
+		t.Errorf("Fingerprint() = %s, want %s\n(deliberate canonical-form change? bump fingerprintVersion and update this golden)", got, want)
+	}
+}
+
+// TestFingerprintNormalizesDefaults: spelling a documented default
+// explicitly must not split the cache.
+func TestFingerprintNormalizesDefaults(t *testing.T) {
+	zero := Config{}
+	explicit := Config{
+		Cores: 64, Workload: "micro", DirectoryCoarseness: 1,
+		BandwidthBytesPerKiloCycle: 16000, TenureTimeoutFactor: 2,
+	}
+	if zero.Fingerprint() != explicit.Fingerprint() {
+		t.Errorf("zero config and explicit defaults fingerprint differently:\n  %s\n  %s",
+			zero.Fingerprint(), explicit.Fingerprint())
+	}
+}
+
+// TestFingerprintDistinguishesAxes: every Matrix axis — and every other
+// behaviour-affecting field — must produce a distinct fingerprint, or
+// the result cache would serve one cell's results for another.
+func TestFingerprintDistinguishesAxes(t *testing.T) {
+	variants := map[string]func(*Config){
+		"protocol":   func(c *Config) { c.Protocol = TokenB },
+		"variant":    func(c *Config) { c.Variant = VariantOwner },
+		"cores":      func(c *Config) { c.Cores = 128 },
+		"workload":   func(c *Config) { c.Workload = "jbb" },
+		"trace_file": func(c *Config) { c.Workload = ""; c.TraceFile = "/tmp/x.bin" },
+		"ops":        func(c *Config) { c.OpsPerCore = 601 },
+		"warmup":     func(c *Config) { c.WarmupOps = 0 },
+		"seed":       func(c *Config) { c.Seed = 8 },
+		"bandwidth":  func(c *Config) { c.BandwidthBytesPerKiloCycle = 4000 },
+		"unbounded":  func(c *Config) { c.BandwidthBytesPerKiloCycle = 0; c.UnboundedBandwidth = true },
+		"coarseness": func(c *Config) { c.DirectoryCoarseness = 16 },
+		"tenure":     func(c *Config) { c.TenureTimeoutFactor = 4 },
+		"deact":      func(c *Config) { c.NoDeactWindow = true },
+		"max_cycles": func(c *Config) { c.MaxCycles = 1000 },
+	}
+	base := fpBase().Fingerprint()
+	seen := map[string]string{"": base}
+	for name, mutate := range variants {
+		c := fpBase()
+		mutate(&c)
+		fp := c.Fingerprint()
+		if prev, dup := seen[fp]; dup {
+			t.Errorf("axis %q collides with %q: %s", name, prev, fp)
+		}
+		seen[fp] = name
+	}
+}
+
+// TestFingerprintIgnoresIrrelevantFields: Variant only matters under
+// PATCH, and SkipChecks selects verification rather than behaviour —
+// neither may split the cache.
+func TestFingerprintIgnoresIrrelevantFields(t *testing.T) {
+	a := Config{Protocol: Directory, Variant: VariantNone}
+	b := Config{Protocol: Directory, Variant: VariantAll}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("Variant split the cache for a non-PATCH protocol")
+	}
+	c := fpBase()
+	d := fpBase()
+	d.SkipChecks = true
+	if c.Fingerprint() != d.Fingerprint() {
+		t.Error("SkipChecks split the cache")
+	}
+}

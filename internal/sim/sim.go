@@ -5,9 +5,11 @@
 package sim
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"strings"
 
 	"patch/internal/addrmap"
 	"patch/internal/cache"
@@ -48,6 +50,42 @@ func (k Kind) String() string {
 		return "TokenB"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// MarshalJSON encodes the protocol by name ("Directory", "PATCH",
+// "TokenB"): Kind is part of the sweep service's wire format, and a
+// name survives enum renumbering where an integer would silently
+// change meaning.
+func (k Kind) MarshalJSON() ([]byte, error) {
+	if k < Directory || k > TokenB {
+		return nil, fmt.Errorf("sim: unknown protocol Kind(%d)", int(k))
+	}
+	return json.Marshal(k.String())
+}
+
+// UnmarshalJSON decodes a protocol name (case-insensitive) or an
+// integer.
+func (k *Kind) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err == nil {
+		for kind := Directory; kind <= TokenB; kind++ {
+			if strings.EqualFold(s, kind.String()) {
+				*k = kind
+				return nil
+			}
+		}
+		return fmt.Errorf("sim: unknown protocol %q", s)
+	}
+	var n int
+	if err := json.Unmarshal(data, &n); err != nil {
+		return fmt.Errorf("sim: unknown protocol %s", data)
+	}
+	kind := Kind(n)
+	if kind < Directory || kind > TokenB {
+		return fmt.Errorf("sim: unknown protocol Kind(%d)", n)
+	}
+	*k = kind
+	return nil
 }
 
 // Config describes one simulation.

@@ -9,13 +9,15 @@ import (
 	"math"
 )
 
-// Summary describes a set of runs of one configuration.
+// Summary describes a set of runs of one configuration. It crosses
+// the sweep service's HTTP API inside patch.Summary, so its JSON field
+// names are explicit and stable.
 type Summary struct {
-	N      int
-	Mean   float64
-	StdDev float64
+	N      int     `json:"n"`
+	Mean   float64 `json:"mean"`
+	StdDev float64 `json:"stddev,omitempty"`
 	// CI95 is the half-width of the 95% confidence interval of the mean.
-	CI95 float64
+	CI95 float64 `json:"ci95,omitempty"`
 }
 
 // tTable holds two-sided 95% Student-t critical values for small sample

@@ -1,0 +1,159 @@
+package patch
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Matrices are wire-encodable (the sweep service submits them over
+// HTTP as JSON), but Adjust and Filter are function fields that cannot
+// cross a process boundary. Named transforms solve this: both ends of
+// the wire register the function under a stable name, and a serialized
+// Matrix carries AdjustName/FilterName instead of the closure. The
+// registries below hold those names; expansion resolves them.
+
+var (
+	transformMu sync.RWMutex
+	adjusts     = map[string]func(Config) Config{}
+	filters     = map[string]func(Config) bool{}
+)
+
+// RegisterAdjust registers a named cell-rewrite transform for use as
+// Matrix.AdjustName. The function must be deterministic (like
+// Matrix.Adjust) and registered identically in every process that
+// expands the matrix. It panics on an empty name, nil function, or
+// duplicate registration — transform names are wire protocol, and a
+// silent redefinition would make the same serialized matrix mean
+// different things on different servers.
+func RegisterAdjust(name string, f func(Config) Config) {
+	if name == "" || f == nil {
+		panic("patch: RegisterAdjust needs a name and a function")
+	}
+	transformMu.Lock()
+	defer transformMu.Unlock()
+	if _, dup := adjusts[name]; dup {
+		panic(fmt.Sprintf("patch: RegisterAdjust called twice for %q", name))
+	}
+	adjusts[name] = f
+}
+
+// RegisterFilter registers a named cell predicate for use as
+// Matrix.FilterName, under the same contract as RegisterAdjust.
+func RegisterFilter(name string, f func(Config) bool) {
+	if name == "" || f == nil {
+		panic("patch: RegisterFilter needs a name and a function")
+	}
+	transformMu.Lock()
+	defer transformMu.Unlock()
+	if _, dup := filters[name]; dup {
+		panic(fmt.Sprintf("patch: RegisterFilter called twice for %q", name))
+	}
+	filters[name] = f
+}
+
+// AdjustNames lists the registered adjust transforms, sorted.
+func AdjustNames() []string { return transformNames(adjusts) }
+
+// FilterNames lists the registered filter predicates, sorted.
+func FilterNames() []string { return transformNames(filters) }
+
+func transformNames[V any](m map[string]V) []string {
+	transformMu.RLock()
+	defer transformMu.RUnlock()
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// FilterCoarsenessWithinCores is the built-in filter dropping cells
+// whose sharer-encoding coarseness exceeds their core count — the
+// predicate every inexact-encoding sweep (Figures 9-10) needs when the
+// Cores and Coarseness axes cross.
+const FilterCoarsenessWithinCores = "coarseness<=cores"
+
+func init() {
+	RegisterFilter(FilterCoarsenessWithinCores, func(c Config) bool {
+		return c.DirectoryCoarseness <= c.Cores
+	})
+}
+
+// resolveTransforms returns the matrix's effective adjust and filter
+// functions, resolving registered names. A matrix may spell each
+// transform as a function or as a name, not both.
+func (m Matrix) resolveTransforms() (func(Config) Config, func(Config) bool, error) {
+	adjust, filter := m.Adjust, m.Filter
+	if m.AdjustName != "" {
+		if adjust != nil {
+			return nil, nil, fmt.Errorf("patch: %w: Adjust and AdjustName %q", ErrTransformConflict, m.AdjustName)
+		}
+		transformMu.RLock()
+		f, ok := adjusts[m.AdjustName]
+		transformMu.RUnlock()
+		if !ok {
+			return nil, nil, fmt.Errorf("patch: %w: %q (have %v)", ErrUnknownAdjust, m.AdjustName, AdjustNames())
+		}
+		adjust = f
+	}
+	if m.FilterName != "" {
+		if filter != nil {
+			return nil, nil, fmt.Errorf("patch: %w: Filter and FilterName %q", ErrTransformConflict, m.FilterName)
+		}
+		transformMu.RLock()
+		f, ok := filters[m.FilterName]
+		transformMu.RUnlock()
+		if !ok {
+			return nil, nil, fmt.Errorf("patch: %w: %q (have %v)", ErrUnknownFilter, m.FilterName, FilterNames())
+		}
+		filter = f
+	}
+	return adjust, filter, nil
+}
+
+// variantNames maps each Variant to its wire spelling — the paper name
+// Variant.String returns. Unmarshalling accepts these names
+// case-insensitively, or a bare integer for backwards compatibility.
+var variantNames = map[string]Variant{}
+
+func init() {
+	for v := VariantNone; v <= VariantAllNonAdaptive; v++ {
+		variantNames[strings.ToLower(v.String())] = v
+	}
+}
+
+// MarshalJSON encodes the variant by its paper name ("PATCH-All"), so
+// the wire form survives any renumbering of the Go constants.
+func (v Variant) MarshalJSON() ([]byte, error) {
+	if v < VariantNone || v > VariantAllNonAdaptive {
+		return nil, fmt.Errorf("patch: %w: Variant(%d)", ErrUnknownVariant, int(v))
+	}
+	return json.Marshal(v.String())
+}
+
+// UnmarshalJSON decodes a paper name (case-insensitive) or an integer.
+func (v *Variant) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err == nil {
+		got, ok := variantNames[strings.ToLower(s)]
+		if !ok {
+			return fmt.Errorf("patch: %w: %q", ErrUnknownVariant, s)
+		}
+		*v = got
+		return nil
+	}
+	var n int
+	if err := json.Unmarshal(data, &n); err != nil {
+		return fmt.Errorf("patch: %w: %s", ErrUnknownVariant, data)
+	}
+	got := Variant(n)
+	if got < VariantNone || got > VariantAllNonAdaptive {
+		return fmt.Errorf("patch: %w: Variant(%d)", ErrUnknownVariant, n)
+	}
+	*v = got
+	return nil
+}

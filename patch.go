@@ -98,11 +98,16 @@ func (v Variant) String() string {
 
 // Config describes one simulation. Zero values select the paper's
 // defaults (64 cores, 16 B/cycle links, full-map directory).
+//
+// Config is a wire type: the sweep service sends it over HTTP, so its
+// JSON field names are explicit and stable (a golden round-trip test
+// pins them). Protocol and Variant marshal by name ("PATCH",
+// "PATCH-All"), not enum position.
 type Config struct {
-	Protocol Protocol
-	Variant  Variant // PATCH only
+	Protocol Protocol `json:"protocol"`
+	Variant  Variant  `json:"variant,omitempty"` // PATCH only
 
-	Cores int
+	Cores int `json:"cores,omitempty"`
 	// Workload names a built-in generator ("jbb", "oltp", "apache",
 	// "barnes", "ocean", "micro"); TraceFile, when set, replays a
 	// recorded reference trace instead.
@@ -115,70 +120,74 @@ type Config struct {
 	// so multi-GB replays open at near-zero resident cost; text traces
 	// are parsed into memory whole. Validate only checks the file
 	// exists; format and content errors surface when the run opens it.
-	Workload   string
-	TraceFile  string
-	OpsPerCore int
-	WarmupOps  int // 0: one warmup op per measured op; -1: none
-	Seed       int64
+	Workload   string `json:"workload,omitempty"`
+	TraceFile  string `json:"trace_file,omitempty"`
+	OpsPerCore int    `json:"ops_per_core,omitempty"`
+	WarmupOps  int    `json:"warmup_ops,omitempty"` // 0: one warmup op per measured op; -1: none
+	Seed       int64  `json:"seed,omitempty"`
 
 	// BandwidthBytesPerKiloCycle sweeps link bandwidth (Figures 6-8);
 	// 0 selects the paper's default 16 bytes/cycle. UnboundedBandwidth
 	// disables link contention entirely (Figure 9's upper halves).
-	BandwidthBytesPerKiloCycle int
-	UnboundedBandwidth         bool
+	BandwidthBytesPerKiloCycle int  `json:"bandwidth_bytes_per_kilocycle,omitempty"`
+	UnboundedBandwidth         bool `json:"unbounded_bandwidth,omitempty"`
 
 	// DirectoryCoarseness is K in the coarse sharer vector (1 bit per K
 	// cores); 1 or 0 selects an exact full map (Figures 9-10).
-	DirectoryCoarseness int
+	DirectoryCoarseness int `json:"directory_coarseness,omitempty"`
 
 	// TenureTimeoutFactor scales the token-tenure probationary period
 	// relative to the average round trip (PATCH ablation; 0 selects the
 	// paper's 2x design point).
-	TenureTimeoutFactor float64
+	TenureTimeoutFactor float64 `json:"tenure_timeout_factor,omitempty"`
 	// NoDeactWindow disables the post-deactivation direct-request ignore
 	// window (PATCH ablation, §5.2's racing-request mitigation).
-	NoDeactWindow bool
+	NoDeactWindow bool `json:"no_deact_window,omitempty"`
 	// MaxCycles aborts a run that stops making progress (liveness
 	// watchdog); 0 selects a generous default.
-	MaxCycles uint64
+	MaxCycles uint64 `json:"max_cycles,omitempty"`
 
 	// SkipChecks disables the end-of-run invariant verification
 	// (benchmark loops only).
-	SkipChecks bool
+	SkipChecks bool `json:"skip_checks,omitempty"`
 }
 
-// Result is the outcome of one run.
+// Result is the outcome of one run. Like Config it is a wire type
+// (the sweep service's remote workers post Results back, and the
+// result cache persists them), so field names are explicit JSON.
 type Result struct {
 	// Cycles is the measured-phase runtime.
-	Cycles uint64
+	Cycles uint64 `json:"cycles"`
 	// Misses is the number of demand misses.
-	Misses uint64
+	Misses uint64 `json:"misses"`
 	// BytesPerMiss is interconnect traffic (bytes x links) per miss, the
 	// paper's traffic metric.
-	BytesPerMiss float64
+	BytesPerMiss float64 `json:"bytes_per_miss"`
 	// TrafficByClass breaks traffic down by the paper's categories
 	// (Data, Ack, Direct, Indirect, Forward, Reissue, Activation).
-	TrafficByClass map[string]uint64
+	TrafficByClass map[string]uint64 `json:"traffic_by_class,omitempty"`
 	// AvgMissLatency is the mean cycles from issue to core restart.
-	AvgMissLatency float64
+	AvgMissLatency float64 `json:"avg_miss_latency"`
 	// DroppedDirectRequests counts stale best-effort messages discarded
 	// by the interconnect.
-	DroppedDirectRequests uint64
+	DroppedDirectRequests uint64 `json:"dropped_direct_requests,omitempty"`
 	// SharingMisses and MemoryMisses classify demand misses by where the
 	// data came from.
-	SharingMisses, MemoryMisses uint64
+	SharingMisses uint64 `json:"sharing_misses,omitempty"`
+	MemoryMisses  uint64 `json:"memory_misses,omitempty"`
 	// TenureTimeouts counts untenured-token discards (PATCH).
-	TenureTimeouts uint64
+	TenureTimeouts uint64 `json:"tenure_timeouts,omitempty"`
 	// Reissues and PersistentRequests count TokenB's forward-progress
 	// machinery.
-	Reissues, PersistentRequests uint64
+	Reissues           uint64 `json:"reissues,omitempty"`
+	PersistentRequests uint64 `json:"persistent_requests,omitempty"`
 }
 
 // Summary aggregates multiple seeded runs of one configuration.
 type Summary struct {
-	Runtime      stats.Summary
-	BytesPerMiss stats.Summary
-	Results      []*Result
+	Runtime      stats.Summary `json:"runtime"`
+	BytesPerMiss stats.Summary `json:"bytes_per_miss"`
+	Results      []*Result     `json:"results,omitempty"`
 }
 
 // ToSim lowers the facade configuration to the internal simulator

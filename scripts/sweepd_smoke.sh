@@ -1,0 +1,98 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the sweep service: boot a real sweepd farm,
+# drive it over plain HTTP (curl only — no Go test harness in the
+# loop), and require the served CSV to be byte-identical to an
+# in-process Sweep of the same matrix. Runs the submission twice to
+# check both the cold and the warm (fully cached) path, then shuts the
+# daemon down via SIGTERM and expects a clean drain.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+workdir=$(mktemp -d)
+server_pid=""
+cleanup() {
+  [ -n "$server_pid" ] && kill "$server_pid" 2>/dev/null || true
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+go build -o "$workdir/sweepd" ./cmd/sweepd
+
+# A small figure-4-style matrix: the three protocol families over one
+# workload, two seeds each.
+cat > "$workdir/matrix.json" <<'EOF'
+{
+  "base": {
+    "cores": 8,
+    "workload": "micro",
+    "ops_per_core": 60,
+    "warmup_ops": 40,
+    "seed": 1,
+    "skip_checks": true
+  },
+  "protocols": [
+    {"protocol": "Directory"},
+    {"protocol": "TokenB"},
+    {"protocol": "PATCH", "variant": "PATCH-All"}
+  ],
+  "seeds": 2
+}
+EOF
+printf '{"matrix":%s}' "$(cat "$workdir/matrix.json")" > "$workdir/jobspec.json"
+
+addr=127.0.0.1:18080
+base="http://$addr"
+"$workdir/sweepd" -listen "$addr" -cache "$workdir/cache" &
+server_pid=$!
+
+for _ in $(seq 1 100); do
+  curl -fsS "$base/healthz" >/dev/null 2>&1 && break
+  sleep 0.1
+done
+curl -fsS "$base/healthz" >/dev/null
+
+# The reference: the same matrix through an in-process sweep.
+"$workdir/sweepd" -local -matrix "$workdir/matrix.json" > "$workdir/local.csv"
+
+run_job() { # run_job <output-csv>; prints the job's final status JSON
+  local out="$1" id
+  id=$(curl -fsS -X POST -H 'Content-Type: application/json' \
+    --data-binary @"$workdir/jobspec.json" "$base/jobs" |
+    grep -o '"id":"[^"]*"' | head -n1 | cut -d'"' -f4)
+  [ -n "$id" ] || { echo "smoke: no job id in submit response" >&2; exit 1; }
+  # The progress stream is the poll: it ends at the terminal event.
+  curl -fsS "$base/jobs/$id/progress" > "$workdir/progress.ndjson"
+  grep -q '"state":"done"' "$workdir/progress.ndjson" || {
+    echo "smoke: job $id did not finish clean:" >&2
+    cat "$workdir/progress.ndjson" >&2
+    exit 1
+  }
+  curl -fsS "$base/jobs/$id/result?format=csv" > "$out"
+  curl -fsS "$base/jobs/$id"
+}
+
+# Cold cache: everything is simulated server-side.
+status=$(run_job "$workdir/cold.csv")
+echo "$status" | grep -q '"cache_hits":0[,}]' || {
+  echo "smoke: cold run should have 0 cache hits: $status" >&2; exit 1
+}
+cmp "$workdir/local.csv" "$workdir/cold.csv" || {
+  echo "smoke: served CSV (cold) differs from local sweep" >&2; exit 1
+}
+
+# Warm cache: the resubmission must be all hits and the same bytes.
+status=$(run_job "$workdir/warm.csv")
+total=$(echo "$status" | grep -o '"total":[0-9]*' | cut -d: -f2)
+echo "$status" | grep -q "\"cache_hits\":$total[,}]" || {
+  echo "smoke: warm run should have $total cache hits: $status" >&2; exit 1
+}
+cmp "$workdir/local.csv" "$workdir/warm.csv" || {
+  echo "smoke: served CSV (warm) differs from local sweep" >&2; exit 1
+}
+
+# Graceful shutdown: SIGTERM drains and exits 0.
+kill -TERM "$server_pid"
+wait "$server_pid"
+server_pid=""
+
+echo "sweepd smoke: OK (cold + warm byte-identical, clean drain)"

@@ -1,0 +1,175 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"patch"
+)
+
+// ResultCache is the content-addressed result store: replica results
+// keyed by Config.Fingerprint(). Because a fingerprint's results are
+// deterministic, a hit is exact — the cached Result is the result, not
+// an approximation — so overlapping cells across concurrent jobs and
+// users skip the simulator entirely.
+//
+// The cache is two-layered. An in-memory map serves the hot path; an
+// optional on-disk layer (one checksummed JSON file per key) survives
+// server restarts. Disk entries are verified on load: a truncated or
+// corrupted file fails its checksum and is deleted and recomputed,
+// never served.
+//
+// Cached *patch.Result values are shared between callers and must be
+// treated as immutable.
+type ResultCache struct {
+	dir string // "" = memory-only
+
+	mu  sync.Mutex
+	mem map[string]*patch.Result
+
+	hits, misses, bad int64
+}
+
+// CacheStats counts cache outcomes since construction. Bad counts
+// on-disk entries rejected by their checksum (each was deleted and the
+// replica recomputed).
+type CacheStats struct {
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	Bad    int64 `json:"bad"`
+}
+
+// NewResultCache opens a cache. dir "" keeps results in memory only;
+// otherwise dir is created and holds one file per fingerprint.
+func NewResultCache(dir string) (*ResultCache, error) {
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("service: result cache: %w", err)
+		}
+	}
+	return &ResultCache{dir: dir, mem: make(map[string]*patch.Result)}, nil
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *ResultCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, Bad: c.bad}
+}
+
+// Get returns the cached result for key, consulting memory first and
+// the disk layer second. A disk entry failing its checksum counts as a
+// miss (and is removed so it cannot fail again).
+func (c *ResultCache) Get(key string) (*patch.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if r, ok := c.mem[key]; ok {
+		c.hits++
+		return r, true
+	}
+	if c.dir != "" {
+		if r, ok := c.load(key); ok {
+			c.mem[key] = r
+			c.hits++
+			return r, true
+		}
+	}
+	c.misses++
+	return nil, false
+}
+
+// Put stores a result under key, writing through to disk when a disk
+// layer is configured. Write errors degrade to memory-only silently:
+// the cache is an accelerator, never a correctness dependency.
+func (c *ResultCache) Put(key string, r *patch.Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.mem[key]; dup {
+		return
+	}
+	c.mem[key] = r
+	if c.dir != "" {
+		c.store(key, r)
+	}
+}
+
+// entryPath maps a fingerprint to its file. Fingerprints are hex, so
+// they are safe as file names; reject anything else defensively.
+func (c *ResultCache) entryPath(key string) (string, bool) {
+	if key == "" || strings.ContainsAny(key, "/\\.") {
+		return "", false
+	}
+	return filepath.Join(c.dir, key+".json"), true
+}
+
+// Disk entry format: one header line "sha256:<hex of payload>\n"
+// followed by the JSON payload. The checksum covers every payload byte,
+// so truncation, bit rot, or a hand-edited entry is detected on load.
+const checksumPrefix = "sha256:"
+
+// load reads and verifies one disk entry. Called with mu held.
+func (c *ResultCache) load(key string) (*patch.Result, bool) {
+	path, ok := c.entryPath(key)
+	if !ok {
+		return nil, false
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false // absent (or unreadable): a plain miss
+	}
+	header, payload, found := strings.Cut(string(data), "\n")
+	sum := sha256.Sum256([]byte(payload))
+	if !found || header != checksumPrefix+hex.EncodeToString(sum[:]) {
+		c.evictBad(path)
+		return nil, false
+	}
+	var r patch.Result
+	if err := json.Unmarshal([]byte(payload), &r); err != nil {
+		// The checksum matched, so this is a format change or a write
+		// bug, not corruption — still recompute rather than serve.
+		c.evictBad(path)
+		return nil, false
+	}
+	return &r, true
+}
+
+// evictBad removes a failed entry so it is recomputed exactly once.
+// Called with mu held.
+func (c *ResultCache) evictBad(path string) {
+	c.bad++
+	_ = os.Remove(path)
+}
+
+// store writes one disk entry atomically (temp file + rename), so a
+// crash mid-write leaves no half entry under the final name. Called
+// with mu held.
+func (c *ResultCache) store(key string, r *patch.Result) {
+	path, ok := c.entryPath(key)
+	if !ok {
+		return
+	}
+	payload, err := json.Marshal(r)
+	if err != nil {
+		return
+	}
+	sum := sha256.Sum256(payload)
+	tmp, err := os.CreateTemp(c.dir, ".cache-*")
+	if err != nil {
+		return
+	}
+	_, werr := fmt.Fprintf(tmp, "%s%s\n%s", checksumPrefix, hex.EncodeToString(sum[:]), payload)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		_ = os.Remove(tmp.Name())
+		return
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		_ = os.Remove(tmp.Name())
+	}
+}

@@ -1,0 +1,415 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ErrDraining is returned for submissions that arrive after Drain has
+// begun; the HTTP layer maps it to 503.
+var ErrDraining = errors.New("service: server is draining")
+
+// Config parameterizes a Server.
+type Config struct {
+	// MaxJobs bounds concurrently running jobs; excess submissions
+	// queue FIFO. <=0 selects 2.
+	MaxJobs int
+	// Workers is the default local pool size per job (JobSpec.Workers
+	// overrides per job). <=0 selects GOMAXPROCS.
+	Workers int
+	// Cache is the shared result cache; nil gets a fresh memory-only
+	// cache.
+	Cache *ResultCache
+	// Lease bounds how long a remote worker may sit on a claimed
+	// replica before it becomes claimable again. <=0 selects 2m.
+	Lease time.Duration
+}
+
+// Server is the sweep-as-a-service farm: a job store plus the HTTP API
+// over it. It is an http.Handler; mount it on any listener.
+//
+//	POST   /jobs                  submit a JobSpec        -> 201 JobStatus
+//	GET    /jobs                  list                    -> 200 []JobStatus
+//	GET    /jobs/{id}             status                  -> 200 JobStatus
+//	DELETE /jobs/{id}             cancel (or forget)      -> 200 JobStatus
+//	GET    /jobs/{id}/progress    replica progress stream -> 200 NDJSON
+//	GET    /jobs/{id}/result      emitter output          -> 200 ?format=csv|json|...
+//	POST   /claim                 worker claims replicas  -> 200 ClaimBatch | 204
+//	POST   /jobs/{id}/results     worker posts results    -> 200 {"accepted":n}
+//	GET    /healthz               liveness + cache stats  -> 200
+type Server struct {
+	cfg   Config
+	cache *ResultCache
+	mux   *http.ServeMux
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	order    []string // submission order, for /claim scans and listing
+	queue    []*job   // admitted but waiting for a running slot
+	running  int
+	draining bool
+	idSeq    int
+
+	wg sync.WaitGroup // one per running job goroutine
+}
+
+// New builds a Server. It performs no I/O; mount the returned handler
+// with http.Server or httptest.
+func New(cfg Config) *Server {
+	if cfg.MaxJobs <= 0 {
+		cfg.MaxJobs = 2
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Lease <= 0 {
+		cfg.Lease = 2 * time.Minute
+	}
+	if cfg.Cache == nil {
+		cfg.Cache, _ = NewResultCache("")
+	}
+	s := &Server{cfg: cfg, cache: cfg.Cache, jobs: make(map[string]*job)}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs", s.handleList)
+	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
+	mux.HandleFunc("DELETE /jobs/{id}", s.handleDelete)
+	mux.HandleFunc("GET /jobs/{id}/progress", s.handleProgress)
+	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("POST /claim", s.handleClaim)
+	mux.HandleFunc("POST /jobs/{id}/results", s.handleResults)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux = mux
+	return s
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Submit admits a job: it starts immediately when a running slot is
+// free, otherwise queues FIFO. Also the programmatic entry point used
+// by tests and embedders.
+func (s *Server) Submit(spec JobSpec) (JobStatus, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return JobStatus{}, ErrDraining
+	}
+	s.idSeq++
+	id := fmt.Sprintf("job-%d", s.idSeq)
+	j, err := newJob(id, spec)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	s.jobs[id] = j
+	s.order = append(s.order, id)
+	if s.running < s.cfg.MaxJobs {
+		s.startLocked(j)
+	} else {
+		s.queue = append(s.queue, j)
+	}
+	return j.status(), nil
+}
+
+// startLocked moves j to running and launches its driver goroutine.
+// Called with mu held.
+func (s *Server) startLocked(j *job) {
+	s.running++
+	j.mu.Lock()
+	if j.state == StateQueued {
+		j.state = StateRunning
+	}
+	j.mu.Unlock()
+	s.wg.Add(1)
+	go s.runJob(j)
+}
+
+// runJob drives one job to a terminal state: cache prefill, then the
+// local pool (unless remote-only), then waiting out any remote claims,
+// and finally handing the slot to the next queued job.
+func (s *Server) runJob(j *job) {
+	defer s.wg.Done()
+	j.prefill(s.cache)
+	if !j.spec.RemoteOnly {
+		workers := j.spec.Workers
+		if workers <= 0 {
+			workers = s.cfg.Workers
+		}
+		j.runLocal(s.cache, workers)
+	}
+	// Local work is exhausted (or skipped); remaining replicas belong
+	// to remote workers. finished closes on done/failed/cancelled.
+	<-j.finished
+	s.mu.Lock()
+	s.running--
+	for len(s.queue) > 0 && s.running < s.cfg.MaxJobs {
+		next := s.queue[0]
+		s.queue = s.queue[1:]
+		s.startLocked(next)
+	}
+	s.mu.Unlock()
+}
+
+// Drain stops admission and waits for every running and queued job to
+// finish, or for ctx to expire — at which point the stragglers are
+// cancelled. Queued jobs still run: drain is graceful, not abortive.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for _, j := range s.jobs {
+			j.cancelJob()
+		}
+		s.queue = nil
+		s.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}
+
+func (s *Server) job(id string) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		httpError(w, http.StatusBadRequest, "bad job spec: %v", err)
+		return
+	}
+	st, err := s.Submit(spec)
+	switch {
+	case errors.Is(err, ErrDraining):
+		httpError(w, http.StatusServiceUnavailable, "%v", err)
+	case err != nil:
+		httpError(w, http.StatusBadRequest, "%v", err)
+	default:
+		w.Header().Set("Location", "/jobs/"+st.ID)
+		writeJSON(w, http.StatusCreated, st)
+	}
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	out := make([]JobStatus, 0, len(s.order))
+	ordered := append([]string(nil), s.order...)
+	jobs := s.jobs
+	s.mu.Unlock()
+	for _, id := range ordered {
+		if j, ok := jobs[id]; ok {
+			out = append(out, j.status())
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+// handleDelete cancels a live job; deleting an already-finished job
+// forgets it (drops it from the store).
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, ok := s.job(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	st := j.status()
+	if st.State.Finished() {
+		s.mu.Lock()
+		delete(s.jobs, id)
+		for i, oid := range s.order {
+			if oid == id {
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				break
+			}
+		}
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, st)
+		return
+	}
+	s.mu.Lock()
+	for i, q := range s.queue {
+		if q.id == id {
+			s.queue = append(s.queue[:i], s.queue[i+1:]...)
+			break
+		}
+	}
+	s.mu.Unlock()
+	j.cancelJob()
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+// handleProgress streams replica-granular ProgressEvent lines as
+// NDJSON until the job reaches a terminal state or the client leaves.
+func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	ch, unsubscribe := j.subscribe()
+	defer unsubscribe()
+	for {
+		select {
+		case ev, open := <-ch:
+			if !open {
+				return
+			}
+			if err := enc.Encode(ev); err != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	name := r.URL.Query().Get("format")
+	if name == "" {
+		name = "csv"
+	}
+	f, ok := lookupFormat(name)
+	if !ok {
+		httpError(w, http.StatusBadRequest, "unknown format %q (have: %s)",
+			name, strings.Join(Formats(), ", "))
+		return
+	}
+	if st := j.status(); st.State != StateDone {
+		httpError(w, http.StatusConflict, "job is %s, not done", st.State)
+		return
+	}
+	w.Header().Set("Content-Type", f.contentType)
+	w.WriteHeader(http.StatusOK)
+	_ = j.render(w, f.make)
+}
+
+// handleClaim hands a worker up to max replicas from the oldest
+// running job with claimable work. 204 means nothing is claimable
+// right now — the worker should poll again, not exit: work reappears
+// when a job starts or a lease expires.
+func (s *Server) handleClaim(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Max int `json:"max"`
+	}
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad claim request: %v", err)
+		return
+	}
+	if req.Max <= 0 {
+		req.Max = 1
+	}
+	s.mu.Lock()
+	ordered := append([]string(nil), s.order...)
+	s.mu.Unlock()
+	now := time.Now()
+	for _, id := range ordered {
+		j, ok := s.job(id)
+		if !ok {
+			continue
+		}
+		if claims := j.claim(req.Max, s.cfg.Lease, now); len(claims) > 0 {
+			writeJSON(w, http.StatusOK, ClaimBatch{Job: id, Replicas: claims})
+			return
+		}
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleResults accepts completed replicas from a worker. Results are
+// written through to the shared cache under the server-computed
+// fingerprint, so a remote replica warms the cache exactly like a
+// local one.
+func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	var batch []ReplicaResult
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20)).Decode(&batch); err != nil {
+		httpError(w, http.StatusBadRequest, "bad results: %v", err)
+		return
+	}
+	accepted := 0
+	for _, rr := range batch {
+		if rr.Result == nil || rr.Index < 0 || rr.Index >= j.plan.NumReplicas() {
+			continue
+		}
+		s.cache.Put(j.plan.ReplicaConfig(rr.Index).Fingerprint(), rr.Result)
+		if j.complete(rr.Index, rr.Result, false) {
+			accepted++
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"accepted": accepted})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	n, running, queued := len(s.jobs), s.running, len(s.queue)
+	draining := s.draining
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"jobs":     n,
+		"running":  running,
+		"queued":   queued,
+		"draining": draining,
+		"cache":    s.cache.Stats(),
+	})
+}

@@ -1,0 +1,24 @@
+// Package service turns the sweep engine into a long-lived experiment
+// farm: a sweep-as-a-service HTTP server that accepts serialized
+// patch.Matrix jobs, streams replica-granular progress, and serves
+// emitter output in any registered format.
+//
+// The design cashes in the determinism contract the engine already
+// guarantees (a configuration's results are byte-identical wherever
+// and whenever they run) twice over:
+//
+//   - A content-addressed result cache keyed by Config.Fingerprint()
+//     makes repeated work free and exact: overlapping cells across
+//     concurrent users hit the cache instead of the simulator, and an
+//     on-disk layer (checksummed, so truncated or poisoned entries are
+//     recomputed rather than served) survives restarts.
+//
+//   - Remote workers claim replica ranges over the same HTTP API and
+//     post results back; because the per-cell reduce is
+//     position-indexed, the merged output is byte-identical to a
+//     single-machine run no matter how the replicas were distributed.
+//
+// The server enforces bounded concurrent-job admission (excess jobs
+// queue FIFO), supports per-job cancellation, and drains gracefully on
+// shutdown.
+package service

@@ -1,0 +1,84 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"patch"
+)
+
+// WorkerConfig parameterizes a remote worker process.
+type WorkerConfig struct {
+	// Batch is the number of replicas claimed per round trip. <=0
+	// selects 4.
+	Batch int
+	// Poll is the idle back-off between empty claims. <=0 selects
+	// 250ms.
+	Poll time.Duration
+	// OneShot exits after the first empty claim instead of polling
+	// forever — used by tests and batch deployments where the queue is
+	// known to be loaded up front.
+	OneShot bool
+	// Log receives one line per claim batch; nil discards.
+	Log func(format string, args ...any)
+}
+
+// RunWorker joins the farm at client.Base and executes claimed
+// replicas until ctx is cancelled (or, with OneShot, the server runs
+// dry). The worker reuses one simulation arena across all replicas it
+// runs, exactly like a local pool worker; results are posted back and
+// merged position-indexed, so the served output is byte-identical to a
+// single-machine run.
+func RunWorker(ctx context.Context, client *Client, cfg WorkerConfig) error {
+	if cfg.Batch <= 0 {
+		cfg.Batch = 4
+	}
+	if cfg.Poll <= 0 {
+		cfg.Poll = 250 * time.Millisecond
+	}
+	logf := cfg.Log
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	runner := patch.NewRunner()
+	defer runner.Close()
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		batch, ok, err := client.Claim(ctx, cfg.Batch)
+		if err != nil {
+			return fmt.Errorf("service: worker claim: %w", err)
+		}
+		if !ok {
+			if cfg.OneShot {
+				return nil
+			}
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(cfg.Poll):
+			}
+			continue
+		}
+		results := make([]ReplicaResult, 0, len(batch.Replicas))
+		for _, claim := range batch.Replicas {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			r, err := runner.RunReplica(claim.Config)
+			if err != nil {
+				// Report what we have, then surface the failure; the
+				// lease returns the rest to the pool.
+				_ = client.PostResults(ctx, batch.Job, results)
+				return fmt.Errorf("service: worker replica %d of %s: %w", claim.Index, batch.Job, err)
+			}
+			results = append(results, ReplicaResult{Index: claim.Index, Result: r})
+		}
+		if err := client.PostResults(ctx, batch.Job, results); err != nil {
+			return fmt.Errorf("service: worker post: %w", err)
+		}
+		logf("worker: %s: ran %d replicas", batch.Job, len(results))
+	}
+}

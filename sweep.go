@@ -24,9 +24,9 @@ var ErrEmptyMatrix = errors.New("patch: matrix expands to no cells")
 // for PATCH, the prediction variant. Label overrides the display name
 // (e.g. the paper's "PATCH-All-NA" for VariantAllNonAdaptive).
 type ProtoVariant struct {
-	Protocol Protocol
-	Variant  Variant // PATCH only
-	Label    string  // optional display override
+	Protocol Protocol `json:"protocol"`
+	Variant  Variant  `json:"variant,omitempty"` // PATCH only
+	Label    string   `json:"label,omitempty"`   // optional display override
 }
 
 // Name returns the display label: Label if set, the variant name for
@@ -74,26 +74,36 @@ func AdaptivityProtocols() []ProtoVariant {
 // independent of how many workers run the sweep.
 type Matrix struct {
 	// Base is the cell template; axis values override its fields.
-	Base Config
+	Base Config `json:"base"`
 
-	Protocols  []ProtoVariant
-	Workloads  []string
-	Bandwidths []int // bytes/kilocycle; 0 = paper default, Unbounded = no contention
-	Coarseness []int
-	Cores      []int
+	Protocols  []ProtoVariant `json:"protocols,omitempty"`
+	Workloads  []string       `json:"workloads,omitempty"`
+	Bandwidths []int          `json:"bandwidths,omitempty"` // bytes/kilocycle; 0 = paper default, Unbounded = no contention
+	Coarseness []int          `json:"coarseness,omitempty"`
+	Cores      []int          `json:"cores,omitempty"`
 
 	// Seeds is the number of perturbed runs per cell (Base.Seed,
 	// Base.Seed+1, ...); 0 means 1.
-	Seeds int
+	Seeds int `json:"seeds,omitempty"`
 
 	// Adjust, when set, rewrites each expanded cell configuration —
 	// e.g. scaling OpsPerCore down as Cores grows, as the paper's
-	// scalability sweep does. It must be deterministic.
-	Adjust func(Config) Config
+	// scalability sweep does. It must be deterministic. Function fields
+	// cannot cross a process boundary; a Matrix meant for the wire
+	// names a registered transform via AdjustName instead.
+	Adjust func(Config) Config `json:"-"`
 
 	// Filter, when set, drops cells it returns false for — e.g.
-	// coarseness values exceeding the cell's core count.
-	Filter func(Config) bool
+	// coarseness values exceeding the cell's core count. Like Adjust,
+	// wire-encodable matrices use FilterName.
+	Filter func(Config) bool `json:"-"`
+
+	// AdjustName and FilterName select transforms registered with
+	// RegisterAdjust/RegisterFilter by name — the wire-encodable
+	// spelling of Adjust and Filter. Setting both spellings of the same
+	// transform is an error (ErrTransformConflict).
+	AdjustName string `json:"adjust,omitempty"`
+	FilterName string `json:"filter,omitempty"`
 }
 
 // A cell is one expanded configuration plus its display label.
@@ -132,6 +142,10 @@ func (p *plan) config(r replica) Config {
 // expand produces the validated cross-product in deterministic order
 // and flattens it into the replica work-list.
 func (m Matrix) expand() (*plan, error) {
+	adjust, filter, err := m.resolveTransforms()
+	if err != nil {
+		return nil, err
+	}
 	workloads := m.Workloads
 	if len(workloads) == 0 {
 		workloads = []string{m.Base.Workload}
@@ -176,10 +190,10 @@ func (m Matrix) expand() (*plan, error) {
 							cfg.UnboundedBandwidth = false
 							cfg.BandwidthBytesPerKiloCycle = bw
 						}
-						if m.Adjust != nil {
-							cfg = m.Adjust(cfg)
+						if adjust != nil {
+							cfg = adjust(cfg)
 						}
-						if m.Filter != nil && !m.Filter(cfg) {
+						if filter != nil && !filter(cfg) {
 							continue
 						}
 						if err := cfg.Validate(); err != nil {
@@ -228,50 +242,127 @@ func (m Matrix) NumReplicas() int {
 	return len(p.replicas)
 }
 
+// A ReplicaPlan is a Matrix expanded into its validated cells and
+// flattened replica work-list, exported for external schedulers (the
+// sweep service): the scheduler owns which replica runs where and
+// when; the plan owns what each replica index means and how results
+// reduce back into cells. Replica indices are stable — they enumerate
+// the matrix expansion order — so a position-indexed reduce over them
+// reproduces Sweep's byte-identical output however the work was
+// distributed.
+type ReplicaPlan struct {
+	p *plan
+}
+
+// Plan expands the matrix for external scheduling. It fails like Sweep
+// does: on an invalid cell or an empty expansion.
+func (m Matrix) Plan() (*ReplicaPlan, error) {
+	p, err := m.expand()
+	if err != nil {
+		return nil, err
+	}
+	if len(p.cells) == 0 {
+		return nil, ErrEmptyMatrix
+	}
+	return &ReplicaPlan{p: p}, nil
+}
+
+// NumCells returns the plan's cell count.
+func (rp *ReplicaPlan) NumCells() int { return len(rp.p.cells) }
+
+// NumReplicas returns the plan's replica count (cells x seeds).
+func (rp *ReplicaPlan) NumReplicas() int { return len(rp.p.replicas) }
+
+// SeedsPerCell returns how many seeded replicas each cell aggregates.
+func (rp *ReplicaPlan) SeedsPerCell() int { return rp.p.seeds }
+
+// CellLabel returns cell i's protocol column label (ProtoVariant.Name).
+func (rp *ReplicaPlan) CellLabel(i int) string { return rp.p.cells[i].label }
+
+// CellConfig returns cell i's fully expanded configuration (Seed is
+// the cell's base seed).
+func (rp *ReplicaPlan) CellConfig(i int) Config { return rp.p.cells[i].cfg }
+
+// ReplicaCell returns the cell index replica i belongs to.
+func (rp *ReplicaPlan) ReplicaCell(i int) int { return rp.p.replicas[i].cell }
+
+// ReplicaSeed returns replica i's 0-based seed offset within its cell
+// — its position in the cell's position-indexed reduce.
+func (rp *ReplicaPlan) ReplicaSeed(i int) int { return rp.p.replicas[i].seed }
+
+// ReplicaConfig returns replica i's fully expanded configuration, seed
+// offset applied.
+func (rp *ReplicaPlan) ReplicaConfig(i int) Config { return rp.p.config(rp.p.replicas[i]) }
+
 // CellResult is one completed cell of a sweep.
 type CellResult struct {
 	// Index is the cell's position in the matrix expansion order.
-	Index int
+	Index int `json:"index"`
 	// Label names the protocol column (ProtoVariant.Name).
-	Label string
+	Label string `json:"label"`
 	// Config is the cell's fully expanded configuration (Seed is the
 	// base seed; the Summary aggregates Seeds perturbed runs).
-	Config Config
+	Config Config `json:"config"`
 	// Summary aggregates the cell's seeded runs.
-	Summary *Summary
+	Summary *Summary `json:"summary"`
 }
 
 // SweepResult is a completed sweep: cells in matrix expansion order,
 // bit-identical regardless of worker count.
 type SweepResult struct {
-	Cells []CellResult
+	Cells []CellResult `json:"cells"`
 	// Runs is the total number of simulations executed.
-	Runs int
+	Runs int `json:"runs"`
 }
 
 // Progress describes one completed replica of a running sweep.
 type Progress struct {
 	// Done of Total counts completed replicas sweep-wide.
-	Done, Total int
+	Done  int `json:"done"`
+	Total int `json:"total"`
 	// Cell is the matrix index of the completed replica's cell and
 	// Cells the sweep's cell count; CellDone of CellTotal counts the
 	// cell's completed replicas, so a consumer can render per-cell
 	// progress even when one large cell dominates the sweep.
-	Cell, Cells         int
-	CellDone, CellTotal int
+	Cell      int `json:"cell"`
+	Cells     int `json:"cells"`
+	CellDone  int `json:"cell_done"`
+	CellTotal int `json:"cell_total"`
 	// Label is the cell's protocol column label; Seed is the replica's
 	// absolute seed.
-	Label string
-	Seed  int64
+	Label string `json:"label"`
+	Seed  int64  `json:"seed"`
 }
+
+// A Runner executes replica simulations on behalf of a scheduler. It
+// is the transport-agnostic seam between the work-list (which decides
+// what replica runs next) and execution (where the simulation actually
+// happens): Sweep's per-worker arena is the local implementation, and
+// the sweep service's remote workers drive the same interface from
+// another process over HTTP. A Runner is driven by one goroutine at a
+// time; Close releases whatever arenas it holds.
+type Runner interface {
+	// RunReplica executes one fully expanded replica configuration.
+	RunReplica(cfg Config) (*Result, error)
+	// Close releases the runner's resources (reusable simulation
+	// arenas, open trace replays).
+	Close()
+}
+
+// NewRunner returns the local reuse-aware Runner: consecutive
+// compatible configurations (same protocol and core count) Reset and
+// reuse one warm simulation arena instead of rebuilding the world per
+// replica.
+func NewRunner() Runner { return &sweepWorker{} }
 
 // SweepOption tunes sweep execution.
 type SweepOption func(*sweepOptions)
 
 type sweepOptions struct {
-	workers  int
-	progress func(Progress)
-	emitters []Emitter
+	workers   int
+	progress  func(Progress)
+	emitters  []Emitter
+	newRunner func() Runner
 }
 
 // Workers bounds the worker pool; n <= 0 (the default) selects
@@ -289,6 +380,15 @@ func OnProgress(f func(Progress)) SweepOption {
 // be given several times; emitters run in registration order.
 func EmitTo(e Emitter) SweepOption {
 	return func(o *sweepOptions) { o.emitters = append(o.emitters, e) }
+}
+
+// WithRunnerFactory substitutes the runner each pool worker executes
+// replicas on. The default is NewRunner, the in-process reuse-aware
+// simulator; scheduler tests inject instrumented runners per Sweep
+// call, so there is no process-global runner state to race on when
+// several sweeps (or a multi-job server) run concurrently.
+func WithRunnerFactory(f func() Runner) SweepOption {
+	return func(o *sweepOptions) { o.newRunner = f }
 }
 
 // Sweep expands the matrix into a replica work-list — one entry per
@@ -368,7 +468,7 @@ func Sweep(ctx context.Context, m Matrix, opts ...SweepOption) (*SweepResult, er
 	finish := func() {
 		for firstErr == nil && nextEmit < len(p.cells) && seedsDone[nextEmit] == p.seeds {
 			i := nextEmit
-			summaries[i] = summarize(results[i])
+			summaries[i] = Summarize(results[i])
 			for _, e := range o.emitters {
 				if err := e.Cell(CellResult{Index: i, Label: p.cells[i].label, Config: p.cells[i].cfg, Summary: summaries[i]}); err != nil {
 					fail(err)
@@ -382,15 +482,18 @@ func Sweep(ctx context.Context, m Matrix, opts ...SweepOption) (*SweepResult, er
 	// The work-list is consumed through an atomic cursor: replicas are
 	// independent, so claiming the next index is the entire scheduling
 	// decision — no producer goroutine, no channel.
-	run := runReplica
+	newRunner := o.newRunner
+	if newRunner == nil {
+		newRunner = NewRunner
+	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			worker := &sweepWorker{}
-			defer worker.discard()
+			runner := newRunner()
+			defer runner.Close()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= total || ctx.Err() != nil {
@@ -398,7 +501,7 @@ func Sweep(ctx context.Context, m Matrix, opts ...SweepOption) (*SweepResult, er
 				}
 				rep := p.replicas[i]
 				cfg := p.config(rep)
-				r, err := run(worker, cfg)
+				r, err := runner.RunReplica(cfg)
 				mu.Lock()
 				if err != nil {
 					fail(fmt.Errorf("patch: %s seed %d: %w", p.cells[rep.cell].label, cfg.Seed, err))
@@ -440,21 +543,22 @@ func Sweep(ctx context.Context, m Matrix, opts ...SweepOption) (*SweepResult, er
 	return out, nil
 }
 
-// sweepWorker is one worker's reusable simulation arena: consecutive
-// compatible replicas (same protocol and core count) Reset and reuse a
-// single sim.System — its event slots, message pool, cache arrays and
-// directory slabs — instead of rebuilding the world per replica;
-// incompatible cells rebuild it. Replica results are independent of the
-// worker's history (Reset is byte-identical to fresh construction, see
-// internal/sim), so sweep output stays bit-identical at any worker
-// count and any replica-to-worker assignment.
+// sweepWorker is the local Runner: one worker's reusable simulation
+// arena. Consecutive compatible replicas (same protocol and core
+// count) Reset and reuse a single sim.System — its event slots,
+// message pool, cache arrays and directory slabs — instead of
+// rebuilding the world per replica; incompatible cells rebuild it.
+// Replica results are independent of the worker's history (Reset is
+// byte-identical to fresh construction, see internal/sim), so sweep
+// output stays bit-identical at any worker count and any
+// replica-to-worker assignment.
 type sweepWorker struct {
 	sys *sim.System
 }
 
-// run executes one replica on the worker, reusing its System when
-// compatible.
-func (w *sweepWorker) run(cfg Config) (*Result, error) {
+// RunReplica executes one replica on the worker, reusing its System
+// when compatible.
+func (w *sweepWorker) RunReplica(cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -466,12 +570,12 @@ func (w *sweepWorker) run(cfg Config) (*Result, error) {
 			if err != nil {
 				// A failed run leaves in-flight state Reset cannot
 				// rewind; the System must not be reused.
-				w.discard()
+				w.Close()
 				return nil, err
 			}
 			return fromSim(r), nil
 		case errors.Is(err, sim.ErrIncompatibleReset):
-			w.discard()
+			w.Close()
 		default:
 			return nil, err
 		}
@@ -488,24 +592,21 @@ func (w *sweepWorker) run(cfg Config) (*Result, error) {
 	return fromSim(r), nil
 }
 
-// discard drops the worker's System (releasing any trace replay it
+// Close drops the worker's System (releasing any trace replay it
 // still holds), forcing the next replica to build fresh.
-func (w *sweepWorker) discard() {
+func (w *sweepWorker) Close() {
 	if w.sys != nil {
 		w.sys.Close()
 		w.sys = nil
 	}
 }
 
-// runReplica executes one replica's simulation on a worker. A package
-// variable so scheduler tests can substitute an instrumented runner and
-// observe scheduling behaviour (pool fill, overlap) without real
-// simulations; everything else always leaves it as the worker's
-// reuse-aware runner.
-var runReplica = (*sweepWorker).run
-
-// summarize folds one cell's seeded runs into a Summary, in seed order.
-func summarize(runs []*Result) *Summary {
+// Summarize folds one cell's seeded runs into a Summary, in seed
+// order. Exported for external schedulers (the sweep service): the
+// reduce is position-indexed — runs[i] must hold the result of seed
+// offset i — which is what keeps merged output byte-identical however
+// the replicas were distributed.
+func Summarize(runs []*Result) *Summary {
 	s := &Summary{Results: runs}
 	cycles := make([]float64, len(runs))
 	bpm := make([]float64, len(runs))

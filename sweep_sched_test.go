@@ -8,14 +8,20 @@ import (
 	"time"
 )
 
-// withFakeRunner substitutes the replica runner for the duration of one
-// test, so scheduling behaviour is observable without real simulations
-// (the worker's reusable System stays nil and unused).
-func withFakeRunner(t *testing.T, run func(Config) (*Result, error)) {
-	t.Helper()
-	old := runReplica
-	runReplica = func(_ *sweepWorker, cfg Config) (*Result, error) { return run(cfg) }
-	t.Cleanup(func() { runReplica = old })
+// fakeRunner adapts a plain function to the Runner seam, so scheduling
+// behaviour is observable without real simulations. Injected
+// per-instance via WithRunnerFactory — there is no process-global
+// runner state to save and restore, so fake-runner sweeps can run
+// concurrently with real ones.
+type fakeRunner func(Config) (*Result, error)
+
+func (f fakeRunner) RunReplica(cfg Config) (*Result, error) { return f(cfg) }
+func (f fakeRunner) Close()                                 {}
+
+// fakeRunnerOpt returns the sweep option installing run as every pool
+// worker's runner.
+func fakeRunnerOpt(run func(Config) (*Result, error)) SweepOption {
+	return WithRunnerFactory(func() Runner { return fakeRunner(run) })
 }
 
 // TestReplicaSchedulerFillsPool proves the tentpole property directly
@@ -33,7 +39,7 @@ func TestReplicaSchedulerFillsPool(t *testing.T) {
 		arrived int
 		full    = make(chan struct{})
 	)
-	withFakeRunner(t, func(cfg Config) (*Result, error) {
+	runner := fakeRunnerOpt(func(cfg Config) (*Result, error) {
 		mu.Lock()
 		arrived++
 		if arrived == workers {
@@ -56,7 +62,7 @@ func TestReplicaSchedulerFillsPool(t *testing.T) {
 		Base:  Config{Cores: 8, Workload: "micro", OpsPerCore: 10, Seed: 1, SkipChecks: true},
 		Seeds: 8,
 	}
-	res, err := Sweep(context.Background(), m, Workers(workers))
+	res, err := Sweep(context.Background(), m, Workers(workers), runner)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +88,7 @@ func TestReplicaSchedulerOverlapSpeedup(t *testing.T) {
 		t.Skip("short mode")
 	}
 	const delay = 40 * time.Millisecond
-	withFakeRunner(t, func(cfg Config) (*Result, error) {
+	runner := fakeRunnerOpt(func(cfg Config) (*Result, error) {
 		time.Sleep(delay)
 		return &Result{Cycles: uint64(cfg.Seed), BytesPerMiss: float64(cfg.Seed)}, nil
 	})
@@ -93,7 +99,7 @@ func TestReplicaSchedulerOverlapSpeedup(t *testing.T) {
 	elapsed := func(workers int) time.Duration {
 		t.Helper()
 		start := time.Now()
-		if _, err := Sweep(context.Background(), m, Workers(workers)); err != nil {
+		if _, err := Sweep(context.Background(), m, Workers(workers), runner); err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
 		return time.Since(start)
@@ -112,7 +118,7 @@ func TestReplicaSchedulerOverlapSpeedup(t *testing.T) {
 func TestReplicaSchedulerWorkConservation(t *testing.T) {
 	var mu sync.Mutex
 	runs := make(map[int64]int)
-	withFakeRunner(t, func(cfg Config) (*Result, error) {
+	runner := fakeRunnerOpt(func(cfg Config) (*Result, error) {
 		mu.Lock()
 		runs[cfg.Seed]++
 		mu.Unlock()
@@ -127,7 +133,7 @@ func TestReplicaSchedulerWorkConservation(t *testing.T) {
 		mu.Lock()
 		clear(runs)
 		mu.Unlock()
-		res, err := Sweep(context.Background(), m, Workers(workers))
+		res, err := Sweep(context.Background(), m, Workers(workers), runner)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -43,6 +43,15 @@ var (
 	// regular file. The trace's format (text vs binary) and contents are
 	// checked when the simulator opens it, not here.
 	ErrBadTraceFile = errors.New("trace file not readable")
+	// ErrUnknownAdjust reports a Matrix.AdjustName with no transform
+	// registered under that name (RegisterAdjust).
+	ErrUnknownAdjust = errors.New("unknown adjust transform")
+	// ErrUnknownFilter reports a Matrix.FilterName with no predicate
+	// registered under that name (RegisterFilter).
+	ErrUnknownFilter = errors.New("unknown filter predicate")
+	// ErrTransformConflict reports a Matrix spelling the same transform
+	// both as a function and as a registered name.
+	ErrTransformConflict = errors.New("matrix sets both the function and the named form of a transform")
 )
 
 // Validate checks the configuration against the simulator's actual
