@@ -1,16 +1,22 @@
 // Command sweepd is the sweep-as-a-service farm daemon and its
 // satellite roles. One binary, three modes:
 //
-//	sweepd -listen :8080 -cache /var/cache/sweepd
+//	sweepd -listen :8080 -data-dir /var/lib/sweepd -token $T
 //	    serve: accept matrix jobs over HTTP, run them on a local pool,
 //	    stream progress, serve results, and share a content-addressed
-//	    result cache across jobs. SIGINT/SIGTERM drains gracefully:
-//	    admission stops, running and queued jobs finish, then the
-//	    process exits.
+//	    result cache across jobs (size-capped via -cache-max-bytes).
+//	    With -data-dir, specs and completed replicas persist through a
+//	    checksummed journal: a restarted — even kill -9'd — server
+//	    reloads its jobs and resumes them byte-identically. With
+//	    -token, mutating endpoints require the bearer token, and
+//	    -max-jobs-per-user bounds each principal's unfinished jobs.
+//	    SIGINT/SIGTERM drains gracefully: admission stops, running and
+//	    queued jobs finish, then the process exits.
 //
-//	sweepd -worker http://farm:8080
+//	sweepd -worker http://farm:8080 -token $T
 //	    worker: join a farm, claim replica ranges over the same HTTP
-//	    API, simulate them on a reusable arena, and post results back.
+//	    API, simulate them on a reusable arena, post results back, and
+//	    heartbeat in-flight claims so leases only cull dead workers.
 //
 //	sweepd -local -matrix m.json
 //	    local: run the same JSON matrix in-process and print emitter
@@ -28,6 +34,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -35,13 +42,32 @@ import (
 	"patch/service"
 )
 
+// serveConfig carries the serve-mode flags.
+type serveConfig struct {
+	listen        string
+	cacheDir      string
+	cacheMaxBytes int64
+	dataDir       string
+	token         string
+	maxJobs       int
+	maxJobsUser   int
+	workers       int
+	lease         time.Duration
+	drainTimeout  time.Duration
+}
+
 func main() {
-	listen := flag.String("listen", ":8080", "serve mode: listen address")
-	cacheDir := flag.String("cache", "", "serve mode: on-disk result cache directory (empty: memory only)")
-	maxJobs := flag.Int("max-jobs", 2, "serve mode: concurrently running jobs; excess queue FIFO")
-	workers := flag.Int("workers", 0, "serve/local mode: local pool size (0: GOMAXPROCS)")
-	lease := flag.Duration("lease", 2*time.Minute, "serve mode: remote claim lease before a replica is re-issued")
-	drainTimeout := flag.Duration("drain-timeout", time.Minute, "serve mode: how long to let jobs finish on SIGTERM before cancelling")
+	var sc serveConfig
+	flag.StringVar(&sc.listen, "listen", ":8080", "serve mode: listen address")
+	flag.StringVar(&sc.cacheDir, "cache", "", "serve mode: on-disk result cache directory (empty: <data-dir>/cache, or memory only without -data-dir)")
+	flag.Int64Var(&sc.cacheMaxBytes, "cache-max-bytes", 0, "serve mode: disk result-cache size cap; oldest-accessed entries evicted (0: unbounded)")
+	flag.StringVar(&sc.dataDir, "data-dir", "", "serve mode: durable job store directory — specs and completed replicas survive a restart (empty: jobs are forgotten on restart)")
+	flag.IntVar(&sc.maxJobs, "max-jobs", 2, "serve mode: concurrently running jobs; excess queue per principal, admitted round-robin")
+	flag.IntVar(&sc.maxJobsUser, "max-jobs-per-user", 0, "serve mode: unfinished jobs allowed per principal (0: unlimited)")
+	flag.IntVar(&sc.workers, "workers", 0, "serve/local mode: local pool size (0: GOMAXPROCS)")
+	flag.DurationVar(&sc.lease, "lease", 2*time.Minute, "serve mode: remote claim lease; workers heartbeat inside it, so this only bounds how long a dead worker's claims stay stuck")
+	flag.DurationVar(&sc.drainTimeout, "drain-timeout", time.Minute, "serve mode: how long to let jobs finish on SIGTERM before cancelling")
+	token := flag.String("token", "", "serve mode: require this bearer token on submit/claim/results; worker mode: send it")
 
 	workerURL := flag.String("worker", "", "worker mode: farm base URL to join (e.g. http://host:8080)")
 	batch := flag.Int("batch", 4, "worker mode: replicas claimed per round trip")
@@ -51,6 +77,7 @@ func main() {
 	matrixFile := flag.String("matrix", "", "local mode: matrix JSON file (\"-\": stdin)")
 	format := flag.String("format", "csv", "local mode: output format: csv, json, markdown, chart")
 	flag.Parse()
+	sc.token = *token
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -58,11 +85,11 @@ func main() {
 	var err error
 	switch {
 	case *local:
-		err = runLocal(ctx, *matrixFile, *format, *workers)
+		err = runLocal(ctx, *matrixFile, *format, sc.workers)
 	case *workerURL != "":
-		err = runWorkerMode(ctx, *workerURL, *batch, *oneShot)
+		err = runWorkerMode(ctx, *workerURL, *token, *batch, *oneShot)
 	default:
-		err = serve(ctx, *listen, *cacheDir, *maxJobs, *workers, *lease, *drainTimeout)
+		err = serve(ctx, sc)
 	}
 	if err != nil && !errors.Is(err, context.Canceled) {
 		fmt.Fprintln(os.Stderr, "sweepd:", err)
@@ -70,22 +97,41 @@ func main() {
 	}
 }
 
-func serve(ctx context.Context, listen, cacheDir string, maxJobs, workers int, lease, drainTimeout time.Duration) error {
-	cache, err := service.NewResultCache(cacheDir)
+func serve(ctx context.Context, sc serveConfig) error {
+	cacheDir := sc.cacheDir
+	if cacheDir == "" && sc.dataDir != "" {
+		cacheDir = filepath.Join(sc.dataDir, "cache")
+	}
+	cache, err := service.NewResultCache(cacheDir, service.MaxDiskBytes(sc.cacheMaxBytes))
 	if err != nil {
 		return err
 	}
+	var store *service.JobStore
+	if sc.dataDir != "" {
+		if store, err = service.OpenJobStore(sc.dataDir); err != nil {
+			return err
+		}
+	}
 	srv := service.New(service.Config{
-		MaxJobs: maxJobs,
-		Workers: workers,
-		Cache:   cache,
-		Lease:   lease,
+		MaxJobs:        sc.maxJobs,
+		MaxJobsPerUser: sc.maxJobsUser,
+		Workers:        sc.workers,
+		Cache:          cache,
+		Lease:          sc.lease,
+		Store:          store,
+		Token:          sc.token,
 	})
-	hs := &http.Server{Addr: listen, Handler: srv}
+	if restored, err := srv.Restore(); err != nil {
+		return err
+	} else if restored > 0 {
+		log.Printf("sweepd: restored %d persisted jobs from %s", restored, sc.dataDir)
+	}
+	hs := &http.Server{Addr: sc.listen, Handler: srv}
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("sweepd: serving on %s (cache: %s)", listen, cacheOrMem(cacheDir))
+		log.Printf("sweepd: serving on %s (cache: %s, jobs: %s)",
+			sc.listen, cacheOrMem(cacheDir), cacheOrMem(sc.dataDir))
 		if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 			errc <- err
 		}
@@ -96,8 +142,8 @@ func serve(ctx context.Context, listen, cacheDir string, maxJobs, workers int, l
 	case <-ctx.Done():
 	}
 
-	log.Printf("sweepd: draining (up to %s)...", drainTimeout)
-	dctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	log.Printf("sweepd: draining (up to %s)...", sc.drainTimeout)
+	dctx, cancel := context.WithTimeout(context.Background(), sc.drainTimeout)
 	defer cancel()
 	if err := srv.Drain(dctx); err != nil {
 		log.Printf("sweepd: drain incomplete, jobs cancelled: %v", err)
@@ -114,8 +160,8 @@ func cacheOrMem(dir string) string {
 	return dir
 }
 
-func runWorkerMode(ctx context.Context, base string, batch int, oneShot bool) error {
-	client := &service.Client{Base: base}
+func runWorkerMode(ctx context.Context, base, token string, batch int, oneShot bool) error {
+	client := &service.Client{Base: base, Token: token}
 	return service.RunWorker(ctx, client, service.WorkerConfig{
 		Batch:   batch,
 		OneShot: oneShot,

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"container/list"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -9,6 +10,7 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"time"
 
 	"patch"
 )
@@ -19,69 +21,209 @@ import (
 // an approximation — so overlapping cells across concurrent jobs and
 // users skip the simulator entirely.
 //
-// The cache is two-layered. An in-memory map serves the hot path; an
-// optional on-disk layer (one checksummed JSON file per key) survives
-// server restarts. Disk entries are verified on load: a truncated or
-// corrupted file fails its checksum and is deleted and recomputed,
-// never served.
+// The cache is two-layered. An in-memory map serves the hot path,
+// bounded (when MaxMemEntries is set) by least-recently-used eviction;
+// an optional on-disk layer (one checksummed JSON file per key)
+// survives server restarts. Disk entries are verified on load: a
+// truncated or corrupted file fails its checksum and is deleted and
+// recomputed, never served.
+//
+// When MaxDiskBytes is set the disk layer is size-capped: once the
+// resident bytes exceed the cap, the oldest-accessed entries are
+// evicted — never one that a concurrent Get is currently reading off
+// disk (a serving refcount pins it). Access times persist across
+// restarts via file mtimes, so the LRU order survives a restart too.
 //
 // Cached *patch.Result values are shared between callers and must be
 // treated as immutable.
 type ResultCache struct {
-	dir string // "" = memory-only
+	dir     string // "" = memory-only
+	maxDisk int64  // <=0 = unbounded
+	maxMem  int    // <=0 = unbounded
+	now     func() time.Time
 
-	mu  sync.Mutex
-	mem map[string]*patch.Result
+	mu        sync.Mutex
+	mem       map[string]*list.Element // key -> element in lru
+	lru       *list.List               // front = most recently used *memEntry
+	serving   map[string]int           // disk loads in flight, by key
+	disk      map[string]*diskEntry
+	diskBytes int64
 
-	hits, misses, bad int64
+	hits, misses, bad         int64
+	diskEvict, diskEvictBytes int64
+	memEvict                  int64
 }
 
-// CacheStats counts cache outcomes since construction. Bad counts
-// on-disk entries rejected by their checksum (each was deleted and the
-// replica recomputed).
+type memEntry struct {
+	key string
+	r   *patch.Result
+}
+
+type diskEntry struct {
+	size   int64
+	access time.Time
+}
+
+// CacheStats counts cache outcomes since construction, plus the
+// current resident state of both layers. Bad counts on-disk entries
+// rejected by their checksum (each was deleted and the replica
+// recomputed); DiskEvictions counts size-cap evictions (checksum
+// rejections are counted only under Bad).
 type CacheStats struct {
 	Hits   int64 `json:"hits"`
 	Misses int64 `json:"misses"`
 	Bad    int64 `json:"bad"`
+
+	MemEntries   int   `json:"mem_entries"`
+	MemEvictions int64 `json:"mem_evictions"`
+
+	DiskEntries      int   `json:"disk_entries"`
+	DiskBytes        int64 `json:"disk_bytes"`
+	DiskEvictions    int64 `json:"disk_evictions"`
+	DiskEvictedBytes int64 `json:"disk_evicted_bytes"`
+}
+
+// CacheOption tunes a ResultCache at construction.
+type CacheOption func(*ResultCache)
+
+// MaxDiskBytes caps the disk layer at n resident bytes; once exceeded,
+// the oldest-accessed entries are evicted. n <= 0 leaves the layer
+// unbounded.
+func MaxDiskBytes(n int64) CacheOption {
+	return func(c *ResultCache) { c.maxDisk = n }
+}
+
+// MaxMemEntries caps the in-memory layer at n entries, evicted LRU.
+// n <= 0 leaves the layer unbounded. Evicting a memory entry never
+// invalidates results already handed out — cached results are shared
+// immutable values — and the disk layer (if any) still holds the key.
+func MaxMemEntries(n int) CacheOption {
+	return func(c *ResultCache) { c.maxMem = n }
+}
+
+// CacheClock injects the clock used for LRU access stamps — tests
+// drive eviction order without sleeping. nil keeps time.Now.
+func CacheClock(now func() time.Time) CacheOption {
+	return func(c *ResultCache) {
+		if now != nil {
+			c.now = now
+		}
+	}
 }
 
 // NewResultCache opens a cache. dir "" keeps results in memory only;
-// otherwise dir is created and holds one file per fingerprint.
-func NewResultCache(dir string) (*ResultCache, error) {
+// otherwise dir is created and holds one file per fingerprint, and any
+// entries already present are indexed (sizes and access times from the
+// filesystem) so the size cap and LRU order survive restarts.
+func NewResultCache(dir string, opts ...CacheOption) (*ResultCache, error) {
+	c := &ResultCache{
+		dir:     dir,
+		now:     time.Now,
+		mem:     make(map[string]*list.Element),
+		lru:     list.New(),
+		serving: make(map[string]int),
+		disk:    make(map[string]*diskEntry),
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
 	if dir != "" {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return nil, fmt.Errorf("service: result cache: %w", err)
 		}
+		if err := c.scanDisk(); err != nil {
+			return nil, fmt.Errorf("service: result cache: %w", err)
+		}
+		c.evictDiskLocked() // a lowered cap applies to preexisting entries
 	}
-	return &ResultCache{dir: dir, mem: make(map[string]*patch.Result)}, nil
+	return c, nil
+}
+
+// scanDisk indexes the entries already on disk. Only called during
+// construction, before the cache is shared.
+func (c *ResultCache) scanDisk() error {
+	entries, err := os.ReadDir(c.dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		key, isEntry := strings.CutSuffix(name, ".json")
+		if e.IsDir() || !isEntry || key == "" {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		c.disk[key] = &diskEntry{size: info.Size(), access: info.ModTime()}
+		c.diskBytes += info.Size()
+	}
+	return nil
 }
 
 // Stats returns a snapshot of the cache counters.
 func (c *ResultCache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return CacheStats{Hits: c.hits, Misses: c.misses, Bad: c.bad}
+	return CacheStats{
+		Hits: c.hits, Misses: c.misses, Bad: c.bad,
+		MemEntries: c.lru.Len(), MemEvictions: c.memEvict,
+		DiskEntries: len(c.disk), DiskBytes: c.diskBytes,
+		DiskEvictions: c.diskEvict, DiskEvictedBytes: c.diskEvictBytes,
+	}
 }
 
 // Get returns the cached result for key, consulting memory first and
 // the disk layer second. A disk entry failing its checksum counts as a
-// miss (and is removed so it cannot fail again).
+// miss (and is removed so it cannot fail again). While the disk read
+// is in flight the key is pinned against eviction, so a concurrent
+// Put-triggered eviction can never unlink a file mid-serve.
 func (c *ResultCache) Get(key string) (*patch.Result, bool) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	if r, ok := c.mem[key]; ok {
+	if el, ok := c.mem[key]; ok {
+		c.lru.MoveToFront(el)
 		c.hits++
+		r := el.Value.(*memEntry).r
+		c.mu.Unlock()
 		return r, true
 	}
-	if c.dir != "" {
-		if r, ok := c.load(key); ok {
-			c.mem[key] = r
-			c.hits++
-			return r, true
-		}
+	if c.dir == "" {
+		c.misses++
+		c.mu.Unlock()
+		return nil, false
 	}
-	c.misses++
-	return nil, false
+	if _, ok := c.disk[key]; !ok {
+		c.misses++
+		c.mu.Unlock()
+		return nil, false
+	}
+	c.serving[key]++
+	c.mu.Unlock()
+
+	r, ok := c.load(key)
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.serving[key]--; c.serving[key] == 0 {
+		delete(c.serving, key)
+	}
+	if !ok {
+		// The entry vanished or failed its checksum (load already
+		// removed the file); drop it from the index.
+		if de, still := c.disk[key]; still {
+			c.diskBytes -= de.size
+			delete(c.disk, key)
+		}
+		c.misses++
+		return nil, false
+	}
+	if de, still := c.disk[key]; still {
+		de.access = c.now()
+	}
+	c.insertMemLocked(key, r)
+	c.hits++
+	return r, true
 }
 
 // Put stores a result under key, writing through to disk when a disk
@@ -93,9 +235,68 @@ func (c *ResultCache) Put(key string, r *patch.Result) {
 	if _, dup := c.mem[key]; dup {
 		return
 	}
-	c.mem[key] = r
-	if c.dir != "" {
-		c.store(key, r)
+	c.insertMemLocked(key, r)
+	if c.dir == "" {
+		return
+	}
+	size, ok := c.store(key, r)
+	if !ok {
+		return
+	}
+	if old, existed := c.disk[key]; existed {
+		c.diskBytes -= old.size
+	}
+	c.disk[key] = &diskEntry{size: size, access: c.now()}
+	c.diskBytes += size
+	c.evictDiskLocked()
+}
+
+// insertMemLocked adds (or refreshes) a memory entry and applies the
+// LRU cap. Called with mu held.
+func (c *ResultCache) insertMemLocked(key string, r *patch.Result) {
+	if el, ok := c.mem[key]; ok {
+		c.lru.MoveToFront(el)
+		el.Value.(*memEntry).r = r
+		return
+	}
+	c.mem[key] = c.lru.PushFront(&memEntry{key: key, r: r})
+	for c.maxMem > 0 && c.lru.Len() > c.maxMem {
+		oldest := c.lru.Back()
+		if oldest == nil {
+			break
+		}
+		c.lru.Remove(oldest)
+		delete(c.mem, oldest.Value.(*memEntry).key)
+		c.memEvict++
+	}
+}
+
+// evictDiskLocked enforces the disk size cap: while over it, unlink
+// the oldest-accessed entry whose file no concurrent Get is reading
+// (serving refcount zero). Called with mu held.
+func (c *ResultCache) evictDiskLocked() {
+	for c.maxDisk > 0 && c.diskBytes > c.maxDisk {
+		var victim string
+		var oldest time.Time
+		for key, de := range c.disk {
+			if c.serving[key] > 0 {
+				continue
+			}
+			if victim == "" || de.access.Before(oldest) {
+				victim, oldest = key, de.access
+			}
+		}
+		if victim == "" {
+			return // everything over the cap is being served right now
+		}
+		if path, ok := c.entryPath(victim); ok {
+			_ = os.Remove(path)
+		}
+		de := c.disk[victim]
+		c.diskBytes -= de.size
+		delete(c.disk, victim)
+		c.diskEvict++
+		c.diskEvictBytes += de.size
 	}
 }
 
@@ -108,68 +309,110 @@ func (c *ResultCache) entryPath(key string) (string, bool) {
 	return filepath.Join(c.dir, key+".json"), true
 }
 
-// Disk entry format: one header line "sha256:<hex of payload>\n"
-// followed by the JSON payload. The checksum covers every payload byte,
-// so truncation, bit rot, or a hand-edited entry is detected on load.
+// Checksummed-file format, shared by the cache's disk layer and the
+// job store: one header line "sha256:<hex of payload>\n" followed by
+// the payload. The checksum covers every payload byte, so truncation,
+// bit rot, or a hand-edited file is detected on load.
 const checksumPrefix = "sha256:"
 
-// load reads and verifies one disk entry. Called with mu held.
+// checksumLine returns the header line (without newline) for payload.
+func checksumLine(payload []byte) string {
+	sum := sha256.Sum256(payload)
+	return checksumPrefix + hex.EncodeToString(sum[:])
+}
+
+// readChecksummed reads a checksummed file and returns its verified
+// payload. ok is false when the file is absent; bad is true when it
+// was present but failed verification.
+func readChecksummed(path string) (payload []byte, ok, bad bool) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false, false
+	}
+	header, body, found := strings.Cut(string(data), "\n")
+	if !found || header != checksumLine([]byte(body)) {
+		return nil, false, true
+	}
+	return []byte(body), true, false
+}
+
+// writeChecksummed atomically writes a checksummed file: temp file in
+// the same directory + rename, so a crash mid-write leaves no half
+// entry under the final name.
+func writeChecksummed(path string, payload []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	_, werr := fmt.Fprintf(tmp, "%s\n%s", checksumLine(payload), payload)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		_ = os.Remove(tmp.Name())
+		if werr != nil {
+			return werr
+		}
+		return cerr
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		_ = os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// load reads and verifies one disk entry, with no cache lock held (the
+// key's serving refcount pins it against eviction instead). On a
+// checksum failure the file is removed so it is recomputed exactly
+// once. A successful load refreshes the file mtime, so the LRU order
+// survives restarts.
 func (c *ResultCache) load(key string) (*patch.Result, bool) {
 	path, ok := c.entryPath(key)
 	if !ok {
 		return nil, false
 	}
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return nil, false // absent (or unreadable): a plain miss
-	}
-	header, payload, found := strings.Cut(string(data), "\n")
-	sum := sha256.Sum256([]byte(payload))
-	if !found || header != checksumPrefix+hex.EncodeToString(sum[:]) {
+	payload, ok, bad := readChecksummed(path)
+	if bad {
 		c.evictBad(path)
 		return nil, false
 	}
+	if !ok {
+		return nil, false // absent (or unreadable): a plain miss
+	}
 	var r patch.Result
-	if err := json.Unmarshal([]byte(payload), &r); err != nil {
+	if err := json.Unmarshal(payload, &r); err != nil {
 		// The checksum matched, so this is a format change or a write
 		// bug, not corruption — still recompute rather than serve.
 		c.evictBad(path)
 		return nil, false
 	}
+	now := c.now()
+	_ = os.Chtimes(path, now, now)
 	return &r, true
 }
 
 // evictBad removes a failed entry so it is recomputed exactly once.
-// Called with mu held.
 func (c *ResultCache) evictBad(path string) {
+	c.mu.Lock()
 	c.bad++
+	c.mu.Unlock()
 	_ = os.Remove(path)
 }
 
-// store writes one disk entry atomically (temp file + rename), so a
-// crash mid-write leaves no half entry under the final name. Called
+// store writes one disk entry atomically and reports its size. Called
 // with mu held.
-func (c *ResultCache) store(key string, r *patch.Result) {
+func (c *ResultCache) store(key string, r *patch.Result) (int64, bool) {
 	path, ok := c.entryPath(key)
 	if !ok {
-		return
+		return 0, false
 	}
 	payload, err := json.Marshal(r)
 	if err != nil {
-		return
+		return 0, false
 	}
-	sum := sha256.Sum256(payload)
-	tmp, err := os.CreateTemp(c.dir, ".cache-*")
-	if err != nil {
-		return
+	if err := writeChecksummed(path, payload); err != nil {
+		return 0, false
 	}
-	_, werr := fmt.Fprintf(tmp, "%s%s\n%s", checksumPrefix, hex.EncodeToString(sum[:]), payload)
-	cerr := tmp.Close()
-	if werr != nil || cerr != nil {
-		_ = os.Remove(tmp.Name())
-		return
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		_ = os.Remove(tmp.Name())
-	}
+	// header + "\n" + payload
+	return int64(len(checksumLine(payload))) + 1 + int64(len(payload)), true
 }

@@ -1,0 +1,202 @@
+package service_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"patch"
+	"patch/service"
+)
+
+// entrySize measures the on-disk footprint of one cache entry for the
+// Result shapes used in these tests, so size caps can be phrased in
+// entries. All test results use 4-digit Cycles, so every entry
+// serializes to the same length.
+func entrySize(t *testing.T) int64 {
+	t.Helper()
+	c, err := service.NewResultCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put("aaaa", &patch.Result{Cycles: 1001})
+	size := c.Stats().DiskBytes
+	if size <= 0 {
+		t.Fatalf("measured entry size %d", size)
+	}
+	return size
+}
+
+// TestDiskCacheEviction drives the size-capped disk layer with an
+// injected clock: the oldest-ACCESSED entry is evicted, so a Get
+// protects an old entry from a newer but idle one.
+func TestDiskCacheEviction(t *testing.T) {
+	size := entrySize(t)
+	clk := newFakeClock()
+	dir := t.TempDir()
+	// Memory capped to one entry so Gets actually consult the disk
+	// layer and bump access times there.
+	c, err := service.NewResultCache(dir,
+		service.MaxDiskBytes(2*size), service.MaxMemEntries(1), service.CacheClock(clk.Now))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c.Put("aaaa", &patch.Result{Cycles: 1001})
+	clk.Advance(time.Minute)
+	c.Put("bbbb", &patch.Result{Cycles: 1002})
+	clk.Advance(time.Minute)
+	// Touch aaaa: it is now more recently accessed than bbbb.
+	if r, ok := c.Get("aaaa"); !ok || r.Cycles != 1001 {
+		t.Fatalf("get aaaa: %v %v", r, ok)
+	}
+	clk.Advance(time.Minute)
+
+	// A third entry breaches the two-entry cap: bbbb (oldest access)
+	// must be the victim, not aaaa (older insert, newer access).
+	c.Put("cccc", &patch.Result{Cycles: 1003})
+	st := c.Stats()
+	if st.DiskEntries != 2 || st.DiskEvictions != 1 || st.DiskEvictedBytes != size {
+		t.Fatalf("after eviction: %+v", st)
+	}
+	if st.DiskBytes > 2*size {
+		t.Fatalf("disk layer over cap: %d > %d", st.DiskBytes, 2*size)
+	}
+	if _, ok := c.Get("bbbb"); ok {
+		t.Error("bbbb survived eviction but aaaa was accessed more recently")
+	}
+	if r, ok := c.Get("aaaa"); !ok || r.Cycles != 1001 {
+		t.Errorf("aaaa was evicted despite recent access: %v %v", r, ok)
+	}
+	if r, ok := c.Get("cccc"); !ok || r.Cycles != 1003 {
+		t.Errorf("get cccc: %v %v", r, ok)
+	}
+	if st := c.Stats(); st.Bad != 0 {
+		t.Errorf("bad entries served: %+v", st)
+	}
+}
+
+// TestDiskCacheEvictionSurvivesRestart: the LRU order persists via
+// file mtimes, and a cap applies to preexisting entries at open.
+func TestDiskCacheEvictionSurvivesRestart(t *testing.T) {
+	size := entrySize(t)
+	dir := t.TempDir()
+	c1, err := service.NewResultCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1.Put("aaaa", &patch.Result{Cycles: 1001})
+	c1.Put("bbbb", &patch.Result{Cycles: 1002})
+
+	// Age aaaa's file well past bbbb's, as a long-idle entry would be.
+	old := time.Now().Add(-time.Hour)
+	if err := os.Chtimes(filepath.Join(dir, "aaaa.json"), old, old); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen with room for one entry: the stale aaaa is evicted during
+	// construction, the fresh bbbb survives.
+	c2, err := service.NewResultCache(dir, service.MaxDiskBytes(size))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := c2.Stats()
+	if st.DiskEntries != 1 || st.DiskEvictions != 1 {
+		t.Fatalf("after capped reopen: %+v", st)
+	}
+	if _, ok := c2.Get("aaaa"); ok {
+		t.Error("stale aaaa survived the capped reopen")
+	}
+	if r, ok := c2.Get("bbbb"); !ok || r.Cycles != 1002 {
+		t.Errorf("fresh bbbb evicted at reopen: %v %v", r, ok)
+	}
+}
+
+// TestMemCacheLRUCap: the in-memory layer is LRU-capped, and a Get
+// refreshes recency.
+func TestMemCacheLRUCap(t *testing.T) {
+	c, err := service.NewResultCache("", service.MaxMemEntries(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put("aaaa", &patch.Result{Cycles: 1001})
+	c.Put("bbbb", &patch.Result{Cycles: 1002})
+	if _, ok := c.Get("aaaa"); !ok {
+		t.Fatal("aaaa missing before cap hit")
+	}
+	// aaaa was just used; inserting cccc must evict bbbb.
+	c.Put("cccc", &patch.Result{Cycles: 1003})
+	st := c.Stats()
+	if st.MemEntries != 2 || st.MemEvictions != 1 {
+		t.Fatalf("after mem eviction: %+v", st)
+	}
+	if _, ok := c.Get("bbbb"); ok {
+		t.Error("bbbb survived but aaaa was accessed more recently")
+	}
+	if r, ok := c.Get("aaaa"); !ok || r.Cycles != 1001 {
+		t.Errorf("recently used aaaa evicted: %v %v", r, ok)
+	}
+}
+
+// TestEvictionNeverCorruptsServedGets hammers a hot key with
+// concurrent disk Gets while Puts force continuous eviction. The
+// serving refcount pins an entry's file while it is being read, so no
+// Get may ever observe a torn or checksum-failing entry (Stats.Bad
+// stays zero) or a wrong value. Run with -race this also proves the
+// pinning bookkeeping itself is data-race-free.
+func TestEvictionNeverCorruptsServedGets(t *testing.T) {
+	size := entrySize(t)
+	// Memory layer capped to a single entry: the hot key is displaced
+	// by every Put, so its Gets go to the disk layer, racing eviction.
+	c, err := service.NewResultCache(t.TempDir(),
+		service.MaxDiskBytes(2*size), service.MaxMemEntries(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const hot = "f0f0"
+	c.Put(hot, &patch.Result{Cycles: 9999})
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				r, ok := c.Get(hot)
+				if !ok {
+					// The hot entry went idle long enough to be chosen
+					// as LRU victim; that is allowed — serving a stale
+					// or torn value is not.
+					c.Put(hot, &patch.Result{Cycles: 9999})
+					continue
+				}
+				if r.Cycles != 9999 {
+					t.Errorf("hot key served wrong value: %d", r.Cycles)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 300; i++ {
+		c.Put(fmt.Sprintf("%08x", i), &patch.Result{Cycles: 1000 + uint64(i%9000)})
+	}
+	close(stop)
+	wg.Wait()
+
+	st := c.Stats()
+	if st.Bad != 0 {
+		t.Errorf("a Get observed a torn or corrupt entry: %+v", st)
+	}
+	if st.DiskEvictions == 0 {
+		t.Errorf("churn produced no evictions — test exercised nothing: %+v", st)
+	}
+}

@@ -19,6 +19,12 @@ type Client struct {
 	Base string
 	// HTTP defaults to http.DefaultClient.
 	HTTP *http.Client
+	// Token, when non-empty, is sent as "Authorization: Bearer ..." —
+	// required by servers configured with Config.Token.
+	Token string
+	// Principal, when non-empty, is sent as X-Sweep-Principal on
+	// submissions; the server pools empty principals as "anonymous".
+	Principal string
 }
 
 func (c *Client) http() *http.Client {
@@ -30,6 +36,22 @@ func (c *Client) http() *http.Client {
 
 func (c *Client) url(path string) string {
 	return strings.TrimRight(c.Base, "/") + path
+}
+
+// newRequest builds a request with the client's auth and principal
+// headers attached.
+func (c *Client) newRequest(ctx context.Context, method, path string, body io.Reader) (*http.Request, error) {
+	req, err := http.NewRequestWithContext(ctx, method, c.url(path), body)
+	if err != nil {
+		return nil, err
+	}
+	if c.Token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.Token)
+	}
+	if c.Principal != "" {
+		req.Header.Set("X-Sweep-Principal", c.Principal)
+	}
+	return req, nil
 }
 
 // do issues one request and decodes a JSON body into out (skipped when
@@ -44,7 +66,7 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 		}
 		rd = bytes.NewReader(b)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.url(path), rd)
+	req, err := c.newRequest(ctx, method, path, rd)
 	if err != nil {
 		return err
 	}
@@ -130,7 +152,7 @@ func (c *Client) Result(ctx context.Context, id, format string, w io.Writer) err
 	if format != "" {
 		path += "?format=" + format
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url(path), nil)
+	req, err := c.newRequest(ctx, http.MethodGet, path, nil)
 	if err != nil {
 		return err
 	}
@@ -151,7 +173,7 @@ func (c *Client) Result(ctx context.Context, id, format string, w io.Writer) err
 // until the stream ends (job finished) or ctx/fn stops it. fn
 // returning false ends the stream early.
 func (c *Client) Progress(ctx context.Context, id string, fn func(ProgressEvent) bool) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/jobs/"+id+"/progress"), nil)
+	req, err := c.newRequest(ctx, http.MethodGet, "/jobs/"+id+"/progress", nil)
 	if err != nil {
 		return err
 	}
@@ -198,4 +220,15 @@ func (c *Client) Claim(ctx context.Context, max int) (ClaimBatch, bool, error) {
 // PostResults uploads completed replicas for a job.
 func (c *Client) PostResults(ctx context.Context, jobID string, results []ReplicaResult) error {
 	return c.do(ctx, http.MethodPost, "/jobs/"+jobID+"/results", results, nil)
+}
+
+// Heartbeat extends the leases on claimed replica indices, returning
+// how many the server extended.
+func (c *Client) Heartbeat(ctx context.Context, jobID string, indices []int) (int, error) {
+	var resp struct {
+		Extended int `json:"extended"`
+	}
+	err := c.do(ctx, http.MethodPost, "/jobs/"+jobID+"/heartbeat",
+		map[string][]int{"indices": indices}, &resp)
+	return resp.Extended, err
 }

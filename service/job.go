@@ -48,8 +48,11 @@ type JobSpec struct {
 
 // JobStatus is the GET /jobs/{id} response.
 type JobStatus struct {
-	ID    string `json:"id"`
-	State State  `json:"state"`
+	ID string `json:"id"`
+	// Principal is the submitting identity (quota and fair-share
+	// accounting); empty submissions are pooled under "anonymous".
+	Principal string `json:"principal,omitempty"`
+	State     State  `json:"state"`
 	// Done of Total counts completed replicas; Cells is the matrix
 	// cell count.
 	Done  int `json:"done"`
@@ -78,10 +81,14 @@ type ReplicaClaim struct {
 }
 
 // ClaimBatch is the POST /claim response: a range of replicas of one
-// job.
+// job, plus the lease the claims were issued under so the worker can
+// heartbeat well inside it.
 type ClaimBatch struct {
 	Job      string         `json:"job"`
 	Replicas []ReplicaClaim `json:"replicas"`
+	// LeaseMillis is how long the claims stay held without a
+	// heartbeat; 0 means held until completion.
+	LeaseMillis int64 `json:"lease_ms,omitempty"`
 }
 
 // ReplicaResult is one element of the POST /jobs/{id}/results body.
@@ -107,12 +114,21 @@ func (c claimState) expired(now time.Time) bool {
 // job is one submitted sweep: the expanded plan, the claim table, the
 // position-indexed result slots, and the progress fan-out.
 type job struct {
-	id   string
-	spec JobSpec
-	plan *patch.ReplicaPlan
+	id        string
+	principal string
+	spec      JobSpec
+	plan      *patch.ReplicaPlan
 
 	ctx    context.Context
 	cancel context.CancelFunc
+
+	// persist journals one accepted completion; persistTerminal
+	// records a failed/cancelled marker. Both are nil without a store
+	// (and during restore replay, whose records are already on disk);
+	// they run under mu, so the journal order matches the completion
+	// order the job observed.
+	persist         func(index int, r *patch.Result)
+	persistTerminal func(s State, errMsg string)
 
 	mu        sync.Mutex
 	state     State
@@ -153,7 +169,7 @@ func (j *job) status() JobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	st := JobStatus{
-		ID: j.id, State: j.state,
+		ID: j.id, Principal: j.principal, State: j.state,
 		Done: j.done, Total: j.plan.NumReplicas(), Cells: j.plan.NumCells(),
 		CacheHits: j.cacheHits,
 	}
@@ -207,6 +223,9 @@ func (j *job) complete(i int, r *patch.Result, fromCache bool) bool {
 	if fromCache {
 		j.cacheHits++
 	}
+	if j.persist != nil {
+		j.persist(i, r)
+	}
 	cell := j.plan.ReplicaCell(i)
 	j.cellDone[cell]++
 	if j.cellDone[cell] == j.plan.SeedsPerCell() {
@@ -223,6 +242,56 @@ func (j *job) complete(i int, r *patch.Result, fromCache bool) bool {
 		j.finishLocked(StateDone, nil)
 	}
 	return true
+}
+
+// heartbeat extends the lease of each still-claimed, still-incomplete
+// index to now+lease, returning how many were extended. Local claims
+// (zero deadline: held until completion) need no extension and get
+// none; indices whose lease already expired are extended anyway if no
+// one has re-claimed them — the original worker is evidently alive.
+func (j *job) heartbeat(indices []int, lease time.Duration, now time.Time) int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateRunning || lease <= 0 {
+		return 0
+	}
+	extended := 0
+	for _, i := range indices {
+		if i < 0 || i >= len(j.claims) || j.results[i] != nil {
+			continue
+		}
+		c := &j.claims[i]
+		if !c.claimed || c.deadline.IsZero() {
+			continue
+		}
+		c.deadline = now.Add(lease)
+		extended++
+	}
+	return extended
+}
+
+// restore replays journaled results into a freshly rebuilt job (server
+// restart). The job is temporarily moved to running so complete()
+// accepts the replay — which rebuilds done counts, per-cell summaries,
+// and, if every replica was journaled, the done terminal state — then
+// returned to queued if unfinished. Runs before the job is visible to
+// any other goroutine, and with persist unset (the records being
+// replayed are already on disk).
+func (j *job) restore(results []ReplicaResult) {
+	j.mu.Lock()
+	j.state = StateRunning
+	j.mu.Unlock()
+	for _, rr := range results {
+		if rr.Result == nil || rr.Index < 0 || rr.Index >= j.plan.NumReplicas() {
+			continue
+		}
+		j.complete(rr.Index, rr.Result, false)
+	}
+	j.mu.Lock()
+	if !j.state.Finished() {
+		j.state = StateQueued
+	}
+	j.mu.Unlock()
 }
 
 // fail moves the job to failed on the first replica error and cancels
@@ -252,6 +321,15 @@ func (j *job) finishLocked(s State, err error) {
 	j.state = s
 	j.err = err
 	j.cancel()
+	// Done needs no marker (a complete journal is the marker); failed
+	// and cancelled are not derivable from the journal, so they are.
+	if j.persistTerminal != nil && (s == StateFailed || s == StateCancelled) {
+		msg := ""
+		if err != nil {
+			msg = err.Error()
+		}
+		j.persistTerminal(s, msg)
+	}
 	ev := ProgressEvent{Progress: patch.Progress{Done: j.done, Total: len(j.results)}, State: s}
 	if err != nil {
 		ev.Error = err.Error()

@@ -2,6 +2,7 @@ package service
 
 import (
 	"context"
+	"crypto/subtle"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -10,16 +11,22 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"patch"
 )
 
 // ErrDraining is returned for submissions that arrive after Drain has
 // begun; the HTTP layer maps it to 503.
 var ErrDraining = errors.New("service: server is draining")
 
+// ErrQuota is returned when a principal already has MaxJobsPerUser
+// unfinished jobs; the HTTP layer maps it to 429.
+var ErrQuota = errors.New("service: per-user job quota exceeded")
+
 // Config parameterizes a Server.
 type Config struct {
 	// MaxJobs bounds concurrently running jobs; excess submissions
-	// queue FIFO. <=0 selects 2.
+	// queue per principal and are admitted round-robin. <=0 selects 2.
 	MaxJobs int
 	// Workers is the default local pool size per job (JobSpec.Workers
 	// overrides per job). <=0 selects GOMAXPROCS.
@@ -28,8 +35,27 @@ type Config struct {
 	// cache.
 	Cache *ResultCache
 	// Lease bounds how long a remote worker may sit on a claimed
-	// replica before it becomes claimable again. <=0 selects 2m.
+	// replica without heartbeating before it becomes claimable again.
+	// <=0 selects 2m. Workers heartbeat at a fraction of the lease
+	// (the claim response carries it), so the exact value is no longer
+	// a per-deployment tuning knob — it only bounds how long a dead
+	// worker's claims stay stuck.
 	Lease time.Duration
+	// Store persists job specs and completed replicas so a restarted
+	// server resumes unfinished jobs (call Restore after New). nil
+	// keeps jobs in memory only.
+	Store *JobStore
+	// Token, when non-empty, requires "Authorization: Bearer <Token>"
+	// on the mutating endpoints: submit, claim, results, heartbeat,
+	// and delete. Reads (status, progress, result, healthz) stay open.
+	Token string
+	// MaxJobsPerUser bounds unfinished (queued + running) jobs per
+	// principal; excess submissions fail with ErrQuota. <=0 means
+	// unlimited.
+	MaxJobsPerUser int
+	// Now is the clock used for leases; nil selects time.Now. Tests
+	// inject a fake to drive lease expiry without sleeping.
+	Now func() time.Time
 }
 
 // Server is the sweep-as-a-service farm: a job store plus the HTTP API
@@ -43,7 +69,12 @@ type Config struct {
 //	GET    /jobs/{id}/result      emitter output          -> 200 ?format=csv|json|...
 //	POST   /claim                 worker claims replicas  -> 200 ClaimBatch | 204
 //	POST   /jobs/{id}/results     worker posts results    -> 200 {"accepted":n}
-//	GET    /healthz               liveness + cache stats  -> 200
+//	POST   /jobs/{id}/heartbeat   worker extends leases   -> 200 {"extended":n}
+//	GET    /healthz               liveness + counters     -> 200
+//
+// Submissions carry their principal in the X-Sweep-Principal header
+// (empty: "anonymous"); when Config.Token is set, mutating endpoints
+// additionally require the bearer token.
 type Server struct {
 	cfg   Config
 	cache *ResultCache
@@ -51,8 +82,9 @@ type Server struct {
 
 	mu       sync.Mutex
 	jobs     map[string]*job
-	order    []string // submission order, for /claim scans and listing
-	queue    []*job   // admitted but waiting for a running slot
+	order    []string          // submission order, for /claim scans and listing
+	queues   map[string][]*job // admitted but waiting, FIFO per principal
+	rotation []string          // principals with queued jobs, round-robin order
 	running  int
 	draining bool
 	idSeq    int
@@ -60,8 +92,8 @@ type Server struct {
 	wg sync.WaitGroup // one per running job goroutine
 }
 
-// New builds a Server. It performs no I/O; mount the returned handler
-// with http.Server or httptest.
+// New builds a Server. With a durable store configured, call Restore
+// before serving traffic to reload persisted jobs.
 func New(cfg Config) *Server {
 	if cfg.MaxJobs <= 0 {
 		cfg.MaxJobs = 2
@@ -75,7 +107,12 @@ func New(cfg Config) *Server {
 	if cfg.Cache == nil {
 		cfg.Cache, _ = NewResultCache("")
 	}
-	s := &Server{cfg: cfg, cache: cfg.Cache, jobs: make(map[string]*job)}
+	s := &Server{
+		cfg:    cfg,
+		cache:  cfg.Cache,
+		jobs:   make(map[string]*job),
+		queues: make(map[string][]*job),
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /jobs", s.handleSubmit)
 	mux.HandleFunc("GET /jobs", s.handleList)
@@ -85,6 +122,7 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("POST /claim", s.handleClaim)
 	mux.HandleFunc("POST /jobs/{id}/results", s.handleResults)
+	mux.HandleFunc("POST /jobs/{id}/heartbeat", s.handleHeartbeat)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux = mux
 	return s
@@ -94,29 +132,181 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-// Submit admits a job: it starts immediately when a running slot is
-// free, otherwise queues FIFO. Also the programmatic entry point used
-// by tests and embedders.
+func (s *Server) now() time.Time {
+	if s.cfg.Now != nil {
+		return s.cfg.Now()
+	}
+	return time.Now()
+}
+
+// Restore reloads every persisted job from the configured store:
+// finished jobs become listable and downloadable again, unfinished
+// ones re-enter admission and resume from their last journaled
+// replica. Determinism makes the resumed output byte-identical to an
+// uninterrupted run. Call once, after New and before serving traffic;
+// without a store it is a no-op.
+func (s *Server) Restore() (int, error) {
+	if s.cfg.Store == nil {
+		return 0, nil
+	}
+	recs, err := s.cfg.Store.Load()
+	if err != nil {
+		return 0, err
+	}
+	restored := 0
+	for _, rec := range recs {
+		j, err := newJob(rec.ID, rec.Spec)
+		if err != nil {
+			// The spec no longer expands (e.g. a named transform this
+			// build doesn't register). Skip it rather than refuse to
+			// start; the directory stays on disk for inspection.
+			continue
+		}
+		j.principal = rec.Principal
+		j.restore(rec.Results)
+		if rec.Terminal == StateFailed || rec.Terminal == StateCancelled {
+			j.mu.Lock()
+			if !j.state.Finished() {
+				var terr error
+				if rec.TerminalError != "" {
+					terr = errors.New(rec.TerminalError)
+				}
+				j.finishLocked(rec.Terminal, terr)
+			}
+			j.mu.Unlock()
+		}
+		s.mu.Lock()
+		s.attachPersistenceLocked(j)
+		if rec.Seq > s.idSeq {
+			s.idSeq = rec.Seq
+		}
+		s.jobs[rec.ID] = j
+		s.order = append(s.order, rec.ID)
+		if !j.status().State.Finished() {
+			s.admitLocked(j)
+		}
+		s.mu.Unlock()
+		restored++
+	}
+	return restored, nil
+}
+
+// attachPersistenceLocked wires a job's completions and terminal
+// transitions through to the store. Journal append failures are
+// recorded in store stats but do not fail the job: the worst case is
+// a re-run after a restart, never a wrong result.
+func (s *Server) attachPersistenceLocked(j *job) {
+	store, id := s.cfg.Store, j.id
+	j.persist = func(i int, r *patch.Result) { _ = store.AppendResult(id, i, r) }
+	j.persistTerminal = func(state State, msg string) { _ = store.SaveTerminal(id, state, msg) }
+}
+
+// Submit admits a job under the anonymous principal. Also the
+// programmatic entry point used by tests and embedders.
 func (s *Server) Submit(spec JobSpec) (JobStatus, error) {
+	return s.SubmitAs("", spec)
+}
+
+// SubmitAs admits a job for principal ("" = "anonymous"): it starts
+// immediately when a running slot is free, otherwise queues behind the
+// principal's earlier jobs — queued principals are admitted
+// round-robin, so one user's backlog cannot starve another's first
+// job. With a store configured the spec is persisted before the
+// submission is acknowledged.
+func (s *Server) SubmitAs(principal string, spec JobSpec) (JobStatus, error) {
+	if principal == "" {
+		principal = "anonymous"
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining {
 		return JobStatus{}, ErrDraining
 	}
-	s.idSeq++
-	id := fmt.Sprintf("job-%d", s.idSeq)
+	if s.cfg.MaxJobsPerUser > 0 && s.liveJobsLocked(principal) >= s.cfg.MaxJobsPerUser {
+		return JobStatus{}, fmt.Errorf("%w: %q has %d unfinished jobs",
+			ErrQuota, principal, s.cfg.MaxJobsPerUser)
+	}
+	seq := s.idSeq + 1
+	id := fmt.Sprintf("job-%d", seq)
 	j, err := newJob(id, spec)
 	if err != nil {
 		return JobStatus{}, err
 	}
+	j.principal = principal
+	if s.cfg.Store != nil {
+		if err := s.cfg.Store.SaveSpec(id, seq, principal, spec); err != nil {
+			return JobStatus{}, err
+		}
+		s.attachPersistenceLocked(j)
+	}
+	s.idSeq = seq
 	s.jobs[id] = j
 	s.order = append(s.order, id)
+	s.admitLocked(j)
+	return j.status(), nil
+}
+
+// liveJobsLocked counts principal's unfinished jobs. Called with mu
+// held.
+func (s *Server) liveJobsLocked(principal string) int {
+	n := 0
+	for _, j := range s.jobs {
+		if j.principal == principal && !j.status().State.Finished() {
+			n++
+		}
+	}
+	return n
+}
+
+// admitLocked starts j if a running slot is free, else queues it
+// behind its principal. Called with mu held.
+func (s *Server) admitLocked(j *job) {
 	if s.running < s.cfg.MaxJobs {
 		s.startLocked(j)
-	} else {
-		s.queue = append(s.queue, j)
+		return
 	}
-	return j.status(), nil
+	p := j.principal
+	if _, queued := s.queues[p]; !queued {
+		s.rotation = append(s.rotation, p)
+	}
+	s.queues[p] = append(s.queues[p], j)
+}
+
+// nextQueuedLocked pops the next job fair-share: the head of the next
+// principal's FIFO in rotation order, with that principal moving to
+// the back of the rotation. Called with mu held.
+func (s *Server) nextQueuedLocked() *job {
+	for len(s.rotation) > 0 {
+		p := s.rotation[0]
+		q := s.queues[p]
+		if len(q) == 0 {
+			delete(s.queues, p)
+			s.rotation = s.rotation[1:]
+			continue
+		}
+		j := q[0]
+		if len(q) == 1 {
+			delete(s.queues, p)
+			s.rotation = s.rotation[1:]
+		} else {
+			s.queues[p] = q[1:]
+			s.rotation = append(s.rotation[1:], p)
+		}
+		return j
+	}
+	return nil
+}
+
+// dequeueLocked removes j from its principal's queue (cancellation of
+// a queued job). Called with mu held.
+func (s *Server) dequeueLocked(j *job) {
+	q := s.queues[j.principal]
+	for i, qj := range q {
+		if qj == j {
+			s.queues[j.principal] = append(q[:i], q[i+1:]...)
+			return
+		}
+	}
 }
 
 // startLocked moves j to running and launches its driver goroutine.
@@ -134,7 +324,7 @@ func (s *Server) startLocked(j *job) {
 
 // runJob drives one job to a terminal state: cache prefill, then the
 // local pool (unless remote-only), then waiting out any remote claims,
-// and finally handing the slot to the next queued job.
+// and finally handing the slot to the next queued job (fair-share).
 func (s *Server) runJob(j *job) {
 	defer s.wg.Done()
 	j.prefill(s.cache)
@@ -150,9 +340,11 @@ func (s *Server) runJob(j *job) {
 	<-j.finished
 	s.mu.Lock()
 	s.running--
-	for len(s.queue) > 0 && s.running < s.cfg.MaxJobs {
-		next := s.queue[0]
-		s.queue = s.queue[1:]
+	for s.running < s.cfg.MaxJobs {
+		next := s.nextQueuedLocked()
+		if next == nil {
+			break
+		}
 		s.startLocked(next)
 	}
 	s.mu.Unlock()
@@ -179,7 +371,8 @@ func (s *Server) Drain(ctx context.Context) error {
 		for _, j := range s.jobs {
 			j.cancelJob()
 		}
-		s.queue = nil
+		s.queues = make(map[string][]*job)
+		s.rotation = nil
 		s.mu.Unlock()
 		<-done
 		return ctx.Err()
@@ -204,7 +397,28 @@ func httpError(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
+// authorize gates the mutating endpoints behind the bearer token, when
+// one is configured. It writes the 401 itself; callers just return on
+// false.
+func (s *Server) authorize(w http.ResponseWriter, r *http.Request) bool {
+	if s.cfg.Token == "" {
+		return true
+	}
+	auth := r.Header.Get("Authorization")
+	const prefix = "Bearer "
+	if strings.HasPrefix(auth, prefix) &&
+		subtle.ConstantTimeCompare([]byte(auth[len(prefix):]), []byte(s.cfg.Token)) == 1 {
+		return true
+	}
+	w.Header().Set("WWW-Authenticate", `Bearer realm="sweepd"`)
+	httpError(w, http.StatusUnauthorized, "missing or invalid bearer token")
+	return false
+}
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if !s.authorize(w, r) {
+		return
+	}
 	var spec JobSpec
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
@@ -212,10 +426,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "bad job spec: %v", err)
 		return
 	}
-	st, err := s.Submit(spec)
+	st, err := s.SubmitAs(r.Header.Get("X-Sweep-Principal"), spec)
 	switch {
 	case errors.Is(err, ErrDraining):
 		httpError(w, http.StatusServiceUnavailable, "%v", err)
+	case errors.Is(err, ErrQuota):
+		httpError(w, http.StatusTooManyRequests, "%v", err)
 	case err != nil:
 		httpError(w, http.StatusBadRequest, "%v", err)
 	default:
@@ -227,14 +443,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	out := make([]JobStatus, 0, len(s.order))
-	ordered := append([]string(nil), s.order...)
-	jobs := s.jobs
-	s.mu.Unlock()
-	for _, id := range ordered {
-		if j, ok := jobs[id]; ok {
+	for _, id := range s.order {
+		if j, ok := s.jobs[id]; ok {
 			out = append(out, j.status())
 		}
 	}
+	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, out)
 }
 
@@ -248,8 +462,11 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleDelete cancels a live job; deleting an already-finished job
-// forgets it (drops it from the store).
+// forgets it (drops it from the store, including the durable one).
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if !s.authorize(w, r) {
+		return
+	}
 	id := r.PathValue("id")
 	j, ok := s.job(id)
 	if !ok {
@@ -267,16 +484,14 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 		s.mu.Unlock()
+		if s.cfg.Store != nil {
+			_ = s.cfg.Store.Delete(id)
+		}
 		writeJSON(w, http.StatusOK, st)
 		return
 	}
 	s.mu.Lock()
-	for i, q := range s.queue {
-		if q.id == id {
-			s.queue = append(s.queue[:i], s.queue[i+1:]...)
-			break
-		}
-	}
+	s.dequeueLocked(j)
 	s.mu.Unlock()
 	j.cancelJob()
 	writeJSON(w, http.StatusOK, j.status())
@@ -345,6 +560,9 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 // right now — the worker should poll again, not exit: work reappears
 // when a job starts or a lease expires.
 func (s *Server) handleClaim(w http.ResponseWriter, r *http.Request) {
+	if !s.authorize(w, r) {
+		return
+	}
 	var req struct {
 		Max int `json:"max"`
 	}
@@ -358,14 +576,17 @@ func (s *Server) handleClaim(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	ordered := append([]string(nil), s.order...)
 	s.mu.Unlock()
-	now := time.Now()
+	now := s.now()
 	for _, id := range ordered {
 		j, ok := s.job(id)
 		if !ok {
 			continue
 		}
 		if claims := j.claim(req.Max, s.cfg.Lease, now); len(claims) > 0 {
-			writeJSON(w, http.StatusOK, ClaimBatch{Job: id, Replicas: claims})
+			writeJSON(w, http.StatusOK, ClaimBatch{
+				Job: id, Replicas: claims,
+				LeaseMillis: s.cfg.Lease.Milliseconds(),
+			})
 			return
 		}
 	}
@@ -377,6 +598,9 @@ func (s *Server) handleClaim(w http.ResponseWriter, r *http.Request) {
 // fingerprint, so a remote replica warms the cache exactly like a
 // local one.
 func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+	if !s.authorize(w, r) {
+		return
+	}
 	j, ok := s.job(r.PathValue("id"))
 	if !ok {
 		httpError(w, http.StatusNotFound, "no such job")
@@ -400,16 +624,47 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]int{"accepted": accepted})
 }
 
+// handleHeartbeat extends the leases of a worker's claimed replicas,
+// so a healthy worker keeps its claims however long a replica takes,
+// while a dead worker's claims return to the pool after one lease.
+func (s *Server) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	if !s.authorize(w, r) {
+		return
+	}
+	j, ok := s.job(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	var req struct {
+		Indices []int `json:"indices"`
+	}
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad heartbeat: %v", err)
+		return
+	}
+	extended := j.heartbeat(req.Indices, s.cfg.Lease, s.now())
+	writeJSON(w, http.StatusOK, map[string]int{"extended": extended})
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
-	n, running, queued := len(s.jobs), s.running, len(s.queue)
-	draining := s.draining
+	n, running, draining := len(s.jobs), s.running, s.draining
+	queued := 0
+	for _, q := range s.queues {
+		queued += len(q)
+	}
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"jobs":     n,
 		"running":  running,
 		"queued":   queued,
 		"draining": draining,
+		"auth":     s.cfg.Token != "",
 		"cache":    s.cache.Stats(),
-	})
+	}
+	if s.cfg.Store != nil {
+		body["store"] = s.cfg.Store.Stats()
+	}
+	writeJSON(w, http.StatusOK, body)
 }

@@ -18,7 +18,18 @@
 //     position-indexed, the merged output is byte-identical to a
 //     single-machine run no matter how the replicas were distributed.
 //
+//   - A durable job store (JobStore) persists job specs at admission
+//     and journals each completed replica through the same
+//     checksummed atomic-write machinery as the cache, so a restarted
+//     (or crashed) server reloads its jobs and resumes each from the
+//     last journaled replica — with output byte-identical to an
+//     uninterrupted run.
+//
 // The server enforces bounded concurrent-job admission (excess jobs
-// queue FIFO), supports per-job cancellation, and drains gracefully on
-// shutdown.
+// queue per principal and are admitted round-robin, so one user's
+// backlog cannot starve another), per-principal job quotas, optional
+// bearer-token authentication on the mutating endpoints, worker
+// heartbeats that extend claim leases, per-job cancellation, and
+// graceful drain on shutdown. The disk result cache is size-capped
+// with oldest-accessed eviction; the in-memory layer is LRU-capped.
 package service

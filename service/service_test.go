@@ -61,6 +61,29 @@ func runJob(t *testing.T, c *service.Client, spec service.JobSpec) service.JobSt
 	return st
 }
 
+// fakeClock is the injected time source for lease and eviction tests:
+// expiry is driven by Advance, never by sleeping.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 8, 8, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+
 func download(t *testing.T, c *service.Client, id, format string) []byte {
 	t.Helper()
 	var buf bytes.Buffer
@@ -292,11 +315,13 @@ func TestPoisonedEntryRecomputed(t *testing.T) {
 }
 
 // TestAdmissionLeaseAndIdempotency drives the remote protocol by hand:
-// FIFO admission beyond MaxJobs, lease expiry making a claimed replica
-// claimable again, and duplicate result posts being dropped.
+// queued admission beyond MaxJobs, lease expiry (under an injected
+// clock — no sleeps) making a claimed replica claimable again, and
+// duplicate result posts being dropped.
 func TestAdmissionLeaseAndIdempotency(t *testing.T) {
 	m := smokeMatrix()
-	srv := service.New(service.Config{MaxJobs: 1, Lease: 30 * time.Millisecond})
+	clk := newFakeClock()
+	srv := service.New(service.Config{MaxJobs: 1, Lease: 30 * time.Minute, Now: clk.Now})
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 	c := &service.Client{Base: ts.URL}
@@ -320,12 +345,43 @@ func TestAdmissionLeaseAndIdempotency(t *testing.T) {
 		t.Fatalf("job B state = %s, want queued", stB.State)
 	}
 
-	// Claim one replica, let the lease lapse, and observe it re-issued.
+	// Claim one replica; while its lease is live a full claim gets
+	// everything but it.
 	first, ok, err := c.Claim(ctx, 1)
 	if err != nil || !ok || len(first.Replicas) != 1 {
 		t.Fatalf("first claim: %+v, %v, %v", first, ok, err)
 	}
-	time.Sleep(60 * time.Millisecond)
+	if first.LeaseMillis != (30 * time.Minute).Milliseconds() {
+		t.Errorf("claim lease_ms = %d", first.LeaseMillis)
+	}
+	rest, ok, err := c.Claim(ctx, stA.Total)
+	if err != nil || !ok || len(rest.Replicas) != stA.Total-1 {
+		t.Fatalf("mid-lease claim got %d replicas, want %d (err %v)", len(rest.Replicas), stA.Total-1, err)
+	}
+
+	// Heartbeat only the first claim while two lease periods elapse:
+	// the un-heartbeaten claims expire and are re-issued, but the
+	// heartbeaten replica is still held.
+	for i := 0; i < 2; i++ {
+		clk.Advance(20 * time.Minute)
+		ext, err := c.Heartbeat(ctx, first.Job, []int{first.Replicas[0].Index})
+		if err != nil || ext != 1 {
+			t.Fatalf("heartbeat round %d: extended %d, err %v", i, ext, err)
+		}
+	}
+	lapsed, ok, err := c.Claim(ctx, stA.Total)
+	if err != nil || !ok || len(lapsed.Replicas) != stA.Total-1 {
+		t.Fatalf("post-expiry claim got %d replicas, want %d (err %v)", len(lapsed.Replicas), stA.Total-1, err)
+	}
+	for _, cl := range lapsed.Replicas {
+		if cl.Index == first.Replicas[0].Index {
+			t.Fatalf("heartbeaten replica %d was re-issued", cl.Index)
+		}
+	}
+
+	// Stop heartbeating and let every lease lapse: all replicas are
+	// re-issued.
+	clk.Advance(31 * time.Minute)
 	full, ok, err := c.Claim(ctx, stA.Total)
 	if err != nil || !ok || len(full.Replicas) != stA.Total {
 		t.Fatalf("post-lease claim got %d replicas, want %d (err %v)", len(full.Replicas), stA.Total, err)

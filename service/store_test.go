@@ -1,0 +1,451 @@
+package service_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"patch"
+	"patch/service"
+)
+
+// memCache returns a fresh memory-only cache, so restart tests can't
+// accidentally pass by serving replicas out of a shared disk cache
+// instead of the job store.
+func memCache(t *testing.T) *service.ResultCache {
+	t.Helper()
+	c, err := service.NewResultCache("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func openStore(t *testing.T, dir string) *service.JobStore {
+	t.Helper()
+	st, err := service.OpenJobStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// waitForState polls until job id reaches state (or t fails). Used
+// where a transition rides on a server goroutine (fair-share handoff,
+// restored jobs finishing).
+func waitForState(t *testing.T, c *service.Client, id string, state service.State) service.JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st, err := c.Status(context.Background(), id)
+		if err != nil {
+			t.Fatalf("status %s: %v", id, err)
+		}
+		if st.State == state {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s, want %s", id, st.State, state)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// postClaimed runs a claimed batch and posts the results, returning
+// the claimed indices.
+func postClaimed(t *testing.T, c *service.Client, runner patch.Runner, batch service.ClaimBatch) []int {
+	t.Helper()
+	results := make([]service.ReplicaResult, 0, len(batch.Replicas))
+	indices := make([]int, 0, len(batch.Replicas))
+	for _, cl := range batch.Replicas {
+		r, err := runner.RunReplica(cl.Config)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results = append(results, service.ReplicaResult{Index: cl.Index, Result: r})
+		indices = append(indices, cl.Index)
+	}
+	if err := c.PostResults(context.Background(), batch.Job, results); err != nil {
+		t.Fatal(err)
+	}
+	return indices
+}
+
+// TestRestartResumesPersistedJob is the durability acceptance gate: a
+// job interrupted mid-flight (server abandoned without drain, exactly
+// like a crash) is reloaded from the job store by a brand-new server
+// on the same data dir, resumes from the last journaled replica — the
+// already-posted replicas are NOT re-claimed — and the final download
+// is byte-identical to an uninterrupted local sweep.
+func TestRestartResumesPersistedJob(t *testing.T) {
+	m := smokeMatrix()
+	want := localCSV(t, m)
+	dir := t.TempDir()
+	ctx := context.Background()
+
+	ts1 := httptest.NewServer(service.New(service.Config{
+		MaxJobs: 2, Cache: memCache(t), Store: openStore(t, dir), Lease: time.Minute,
+	}))
+	c1 := &service.Client{Base: ts1.URL}
+
+	st, err := c1.Submit(ctx, service.JobSpec{Matrix: m, RemoteOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Total < 3 {
+		t.Fatalf("matrix too small for a mid-flight crash: %d replicas", st.Total)
+	}
+
+	runner := patch.NewRunner()
+	defer runner.Close()
+	batch, ok, err := c1.Claim(ctx, 2)
+	if err != nil || !ok || len(batch.Replicas) != 2 {
+		t.Fatalf("claim: %v %v %+v", ok, err, batch)
+	}
+	donePre := postClaimed(t, c1, runner, batch)
+
+	// Abandon server 1 without draining: from the store's point of
+	// view this is a crash with 2 of Total replicas journaled.
+	ts1.Close()
+
+	srv2 := service.New(service.Config{
+		MaxJobs: 2, Cache: memCache(t), Store: openStore(t, dir), Lease: time.Minute,
+	})
+	n, err := srv2.Restore()
+	if err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if n != 1 {
+		t.Fatalf("restored %d jobs, want 1", n)
+	}
+	ts2 := httptest.NewServer(srv2)
+	defer ts2.Close()
+	c2 := &service.Client{Base: ts2.URL}
+
+	st2, err := c2.Status(ctx, st.ID)
+	if err != nil {
+		t.Fatalf("restored job not found: %v", err)
+	}
+	if st2.Done != 2 || st2.Total != st.Total {
+		t.Fatalf("restored job done %d/%d, want 2/%d", st2.Done, st2.Total, st.Total)
+	}
+	if st2.Principal != "anonymous" {
+		t.Errorf("restored principal = %q", st2.Principal)
+	}
+
+	// The crashed worker's claims died with server 1: everything not
+	// journaled — and nothing that was — is immediately claimable.
+	batch2, ok, err := c2.Claim(ctx, st.Total)
+	if err != nil || !ok {
+		t.Fatalf("post-restart claim: %v %v", ok, err)
+	}
+	if len(batch2.Replicas) != st.Total-2 {
+		t.Fatalf("post-restart claim got %d replicas, want %d", len(batch2.Replicas), st.Total-2)
+	}
+	for _, cl := range batch2.Replicas {
+		for _, d := range donePre {
+			if cl.Index == d {
+				t.Fatalf("journaled replica %d was re-issued after restart", d)
+			}
+		}
+	}
+	postClaimed(t, c2, runner, batch2)
+
+	fin := waitForState(t, c2, st.ID, service.StateDone)
+	if fin.Done != fin.Total {
+		t.Fatalf("resumed job done %d/%d", fin.Done, fin.Total)
+	}
+	if got := download(t, c2, st.ID, "csv"); !bytes.Equal(got, want) {
+		t.Errorf("resumed CSV differs from local sweep:\n got: %q\nwant: %q", got, want)
+	}
+}
+
+// TestRestartRestoresTerminalJobs: a finished job survives a restart
+// fully downloadable (its results come back from the journal), and a
+// cancelled job comes back cancelled rather than resuming.
+func TestRestartRestoresTerminalJobs(t *testing.T) {
+	m := smokeMatrix()
+	want := localCSV(t, m)
+	dir := t.TempDir()
+	ctx := context.Background()
+
+	ts1 := httptest.NewServer(service.New(service.Config{
+		MaxJobs: 2, Workers: 2, Cache: memCache(t), Store: openStore(t, dir),
+	}))
+	c1 := &service.Client{Base: ts1.URL}
+
+	done := runJob(t, c1, service.JobSpec{Matrix: m})
+	if done.State != service.StateDone {
+		t.Fatalf("job state %s: %s", done.State, done.Error)
+	}
+	// A different base seed keeps job 2 out of job 1's cache, so it
+	// stays cancellable instead of completing instantly from prefill.
+	m2 := m
+	m2.Base.Seed = 99
+	cancelled, err := c1.Submit(ctx, service.JobSpec{Matrix: m2, RemoteOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.Cancel(ctx, cancelled.ID); err != nil {
+		t.Fatal(err)
+	}
+	waitForState(t, c1, cancelled.ID, service.StateCancelled)
+	ts1.Close()
+
+	store2 := openStore(t, dir)
+	srv2 := service.New(service.Config{
+		MaxJobs: 2, Workers: 2, Cache: memCache(t), Store: store2,
+	})
+	if n, err := srv2.Restore(); err != nil || n != 2 {
+		t.Fatalf("restored %d jobs (err %v), want 2", n, err)
+	}
+	ts2 := httptest.NewServer(srv2)
+	defer ts2.Close()
+	c2 := &service.Client{Base: ts2.URL}
+
+	st, err := c2.Status(ctx, done.ID)
+	if err != nil || st.State != service.StateDone || st.Done != st.Total {
+		t.Fatalf("restored done job: %+v, %v", st, err)
+	}
+	if got := download(t, c2, done.ID, "csv"); !bytes.Equal(got, want) {
+		t.Errorf("restored CSV differs from local sweep:\n got: %q\nwant: %q", got, want)
+	}
+	if st, err = c2.Status(ctx, cancelled.ID); err != nil || st.State != service.StateCancelled {
+		t.Fatalf("restored cancelled job: %+v, %v", st, err)
+	}
+
+	// Deleting the finished job removes its persisted directory too.
+	req, _ := http.NewRequest(http.MethodDelete, ts2.URL+"/jobs/"+done.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delete finished job: %d", resp.StatusCode)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "jobs", done.ID)); !os.IsNotExist(err) {
+		t.Errorf("deleted job's store directory still present (err %v)", err)
+	}
+}
+
+// TestTornJournalHeals: a journal whose final record was torn by a
+// crash mid-append loses exactly that record — the job resumes, the
+// replica re-runs, and the output is still byte-identical.
+func TestTornJournalHeals(t *testing.T) {
+	m := smokeMatrix()
+	want := localCSV(t, m)
+	dir := t.TempDir()
+
+	ts1 := httptest.NewServer(service.New(service.Config{
+		MaxJobs: 2, Workers: 2, Cache: memCache(t), Store: openStore(t, dir),
+	}))
+	c1 := &service.Client{Base: ts1.URL}
+	done := runJob(t, c1, service.JobSpec{Matrix: m})
+	if done.State != service.StateDone {
+		t.Fatalf("job state %s: %s", done.State, done.Error)
+	}
+	ts1.Close()
+
+	// Tear the tail of the journal, as a crash mid-append would.
+	journal := filepath.Join(dir, "jobs", done.ID, "results.jsonl")
+	data, err := os.ReadFile(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(journal, data[:len(data)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	store2 := openStore(t, dir)
+	srv2 := service.New(service.Config{
+		MaxJobs: 2, Workers: 2, Cache: memCache(t), Store: store2,
+	})
+	if n, err := srv2.Restore(); err != nil || n != 1 {
+		t.Fatalf("restored %d jobs (err %v), want 1", n, err)
+	}
+	if st := store2.Stats(); st.Dropped == 0 {
+		t.Errorf("torn journal record not counted as dropped: %+v", st)
+	}
+	ts2 := httptest.NewServer(srv2)
+	defer ts2.Close()
+	c2 := &service.Client{Base: ts2.URL}
+
+	// The one torn replica re-runs on the restored server's local pool;
+	// everything journaled is kept.
+	fin := waitForState(t, c2, done.ID, service.StateDone)
+	if fin.Done != fin.Total {
+		t.Fatalf("healed job done %d/%d", fin.Done, fin.Total)
+	}
+	if got := download(t, c2, done.ID, "csv"); !bytes.Equal(got, want) {
+		t.Errorf("healed CSV differs from local sweep:\n got: %q\nwant: %q", got, want)
+	}
+
+	// The journal itself was truncated back to its valid prefix and
+	// then re-appended; a second restore replays cleanly.
+	store3 := openStore(t, dir)
+	recs, err := store3.Load()
+	if err != nil || len(recs) != 1 {
+		t.Fatalf("reload: %d jobs, %v", len(recs), err)
+	}
+	if st := store3.Stats(); st.Dropped != 0 {
+		t.Errorf("healed journal still drops records: %+v", st)
+	}
+}
+
+// TestQuota: per-principal admission limits turn into ErrQuota
+// programmatically and 429 over HTTP, and finishing (here: cancelling)
+// a job frees the slot.
+func TestQuota(t *testing.T) {
+	srv := service.New(service.Config{MaxJobs: 1, MaxJobsPerUser: 2})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	ctx := context.Background()
+	m := smokeMatrix()
+	spec := service.JobSpec{Matrix: m, RemoteOnly: true}
+
+	a1, err := srv.SubmitAs("alice", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.SubmitAs("alice", spec); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.SubmitAs("alice", spec); !errors.Is(err, service.ErrQuota) {
+		t.Fatalf("third alice job: %v, want ErrQuota", err)
+	}
+	// Quotas are per principal: bob is unaffected by alice's backlog.
+	if _, err := srv.SubmitAs("bob", spec); err != nil {
+		t.Fatalf("bob's first job hit alice's quota: %v", err)
+	}
+
+	// Over HTTP the quota surfaces as 429.
+	cAlice := &service.Client{Base: ts.URL, Principal: "alice"}
+	if _, err := cAlice.Submit(ctx, spec); err == nil || !strings.Contains(err.Error(), "429") {
+		t.Fatalf("HTTP submit over quota: %v, want 429", err)
+	}
+
+	// Cancelling one of alice's jobs frees her slot.
+	if err := cAlice.Cancel(ctx, a1.ID); err != nil {
+		t.Fatal(err)
+	}
+	waitForState(t, cAlice, a1.ID, service.StateCancelled)
+	if _, err := cAlice.Submit(ctx, spec); err != nil {
+		t.Fatalf("submit after freeing quota: %v", err)
+	}
+}
+
+// TestFairShareAdmission: with one running slot, queued jobs are
+// admitted round-robin across principals — alice's backlog cannot
+// lock bob out.
+func TestFairShareAdmission(t *testing.T) {
+	srv := service.New(service.Config{MaxJobs: 1})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	ctx := context.Background()
+	spec := service.JobSpec{Matrix: smokeMatrix(), RemoteOnly: true}
+	cAlice := &service.Client{Base: ts.URL, Principal: "alice"}
+	cBob := &service.Client{Base: ts.URL, Principal: "bob"}
+
+	submit := func(c *service.Client) service.JobStatus {
+		st, err := c.Submit(ctx, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	a1, a2, a3 := submit(cAlice), submit(cAlice), submit(cAlice)
+	b1 := submit(cBob)
+	if st := waitForState(t, cAlice, a1.ID, service.StateRunning); st.Principal != "alice" {
+		t.Fatalf("a1 principal %q", st.Principal)
+	}
+
+	// FIFO would run a1, a2, a3, b1. Fair-share rotation interleaves
+	// bob after alice's next turn: a1, a2, b1, a3.
+	finish := func(c *service.Client, id string) {
+		if err := c.Cancel(ctx, id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	finish(cAlice, a1.ID)
+	waitForState(t, cAlice, a2.ID, service.StateRunning)
+	finish(cAlice, a2.ID)
+	waitForState(t, cBob, b1.ID, service.StateRunning)
+	finish(cBob, b1.ID)
+	waitForState(t, cAlice, a3.ID, service.StateRunning)
+}
+
+// TestTokenAuth: with Config.Token set, the mutating endpoints demand
+// the bearer token (401 without), while reads and health stay open.
+func TestTokenAuth(t *testing.T) {
+	const token = "farm-secret"
+	srv := service.New(service.Config{MaxJobs: 1, Workers: 2, Token: token, Cache: memCache(t)})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	m := smokeMatrix()
+
+	status := func(method, path, tok string) int {
+		t.Helper()
+		req, err := http.NewRequest(method, ts.URL+path, strings.NewReader("{}"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tok != "" {
+			req.Header.Set("Authorization", "Bearer "+tok)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode == http.StatusUnauthorized {
+			if got := resp.Header.Get("WWW-Authenticate"); !strings.Contains(got, "Bearer") {
+				t.Errorf("%s %s: 401 without WWW-Authenticate (got %q)", method, path, got)
+			}
+		}
+		return resp.StatusCode
+	}
+
+	for _, tc := range []struct{ method, path string }{
+		{http.MethodPost, "/jobs"},
+		{http.MethodPost, "/claim"},
+		{http.MethodPost, "/jobs/job-1/results"},
+		{http.MethodPost, "/jobs/job-1/heartbeat"},
+		{http.MethodDelete, "/jobs/job-1"},
+	} {
+		if got := status(tc.method, tc.path, ""); got != http.StatusUnauthorized {
+			t.Errorf("%s %s without token: %d, want 401", tc.method, tc.path, got)
+		}
+		if got := status(tc.method, tc.path, "wrong-"+token); got != http.StatusUnauthorized {
+			t.Errorf("%s %s with wrong token: %d, want 401", tc.method, tc.path, got)
+		}
+	}
+	// Reads and health never require the token.
+	for _, path := range []string{"/jobs", "/healthz"} {
+		if got := status(http.MethodGet, path, ""); got != http.StatusOK {
+			t.Errorf("GET %s without token: %d, want 200", path, got)
+		}
+	}
+
+	// An authenticated client works end to end, and the result stays
+	// readable without credentials.
+	c := &service.Client{Base: ts.URL, Token: token, Principal: "alice"}
+	st := runJob(t, c, service.JobSpec{Matrix: m})
+	if st.State != service.StateDone {
+		t.Fatalf("authed job state %s: %s", st.State, st.Error)
+	}
+	if st.Principal != "alice" {
+		t.Errorf("authed job principal %q", st.Principal)
+	}
+	want := localCSV(t, m)
+	if got := download(t, &service.Client{Base: ts.URL}, st.ID, "csv"); !bytes.Equal(got, want) {
+		t.Errorf("served CSV differs from local sweep")
+	}
+}

@@ -30,6 +30,11 @@ type WorkerConfig struct {
 // runs, exactly like a local pool worker; results are posted back and
 // merged position-indexed, so the served output is byte-identical to a
 // single-machine run.
+//
+// While a batch is in flight the worker heartbeats its claims at a
+// third of the server's lease, so a healthy worker keeps a slow
+// replica however long it takes, while a crashed worker's claims
+// return to the pool after a single lease.
 func RunWorker(ctx context.Context, client *Client, cfg WorkerConfig) error {
 	if cfg.Batch <= 0 {
 		cfg.Batch = 4
@@ -62,23 +67,58 @@ func RunWorker(ctx context.Context, client *Client, cfg WorkerConfig) error {
 			}
 			continue
 		}
-		results := make([]ReplicaResult, 0, len(batch.Replicas))
-		for _, claim := range batch.Replicas {
-			if err := ctx.Err(); err != nil {
-				return err
-			}
-			r, err := runner.RunReplica(claim.Config)
-			if err != nil {
-				// Report what we have, then surface the failure; the
-				// lease returns the rest to the pool.
-				_ = client.PostResults(ctx, batch.Job, results)
-				return fmt.Errorf("service: worker replica %d of %s: %w", claim.Index, batch.Job, err)
-			}
-			results = append(results, ReplicaResult{Index: claim.Index, Result: r})
+		if err := runBatch(ctx, client, runner, batch); err != nil {
+			return err
 		}
-		if err := client.PostResults(ctx, batch.Job, results); err != nil {
-			return fmt.Errorf("service: worker post: %w", err)
-		}
-		logf("worker: %s: ran %d replicas", batch.Job, len(results))
+		logf("worker: %s: ran %d replicas", batch.Job, len(batch.Replicas))
 	}
+}
+
+// runBatch executes one claimed batch under a heartbeat and posts the
+// results back.
+func runBatch(ctx context.Context, client *Client, runner patch.Runner, batch ClaimBatch) error {
+	hbCtx, hbStop := context.WithCancel(ctx)
+	defer hbStop()
+	if batch.LeaseMillis > 0 {
+		interval := time.Duration(batch.LeaseMillis) * time.Millisecond / 3
+		if interval < 10*time.Millisecond {
+			interval = 10 * time.Millisecond
+		}
+		indices := make([]int, len(batch.Replicas))
+		for i, claim := range batch.Replicas {
+			indices[i] = claim.Index
+		}
+		go func() {
+			ticker := time.NewTicker(interval)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-hbCtx.Done():
+					return
+				case <-ticker.C:
+					// Best-effort: a missed heartbeat only matters if
+					// they all miss for a whole lease.
+					_, _ = client.Heartbeat(hbCtx, batch.Job, indices)
+				}
+			}
+		}()
+	}
+	results := make([]ReplicaResult, 0, len(batch.Replicas))
+	for _, claim := range batch.Replicas {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		r, err := runner.RunReplica(claim.Config)
+		if err != nil {
+			// Report what we have, then surface the failure; the
+			// lease returns the rest to the pool.
+			_ = client.PostResults(ctx, batch.Job, results)
+			return fmt.Errorf("service: worker replica %d of %s: %w", claim.Index, batch.Job, err)
+		}
+		results = append(results, ReplicaResult{Index: claim.Index, Result: r})
+	}
+	if err := client.PostResults(ctx, batch.Job, results); err != nil {
+		return fmt.Errorf("service: worker post: %w", err)
+	}
+	return nil
 }

@@ -20,6 +20,16 @@ const Unbounded = -1
 // (for example, a Filter that rejected everything).
 var ErrEmptyMatrix = errors.New("patch: matrix expands to no cells")
 
+// MaxReplicas bounds one matrix expansion (cells x seeds). Matrices
+// are wire input to the sweep service; without this bound a hostile
+// Seeds value would make expansion allocate the whole work-list before
+// any admission check could refuse it.
+const MaxReplicas = 1 << 20
+
+// ErrTooManyReplicas reports a Matrix whose cells x seeds product
+// exceeds MaxReplicas.
+var ErrTooManyReplicas = errors.New("patch: matrix expands to too many replicas")
+
 // ProtoVariant names one protocol column of a sweep: a protocol plus,
 // for PATCH, the prediction variant. Label overrides the display name
 // (e.g. the paper's "PATCH-All-NA" for VariantAllNonAdaptive).
@@ -211,6 +221,11 @@ func (m Matrix) expand() (*plan, error) {
 	seeds := m.Seeds
 	if seeds <= 0 {
 		seeds = 1
+	}
+	// Overflow-safe spelling of len(cells)*seeds > MaxReplicas.
+	if len(cells) > 0 && seeds > MaxReplicas/len(cells) {
+		return nil, fmt.Errorf("%w: %d cells x %d seeds > %d",
+			ErrTooManyReplicas, len(cells), seeds, MaxReplicas)
 	}
 	replicas := make([]replica, 0, len(cells)*seeds)
 	for ci := range cells {
