@@ -1,0 +1,91 @@
+// Command patchlint runs the repository's contract analyzers — the
+// static twins of the determinism, zero-allocation and wire-stability
+// guarantees the test suite pins at runtime. It is a multichecker over
+// internal/analysis:
+//
+//	determinism  no wall clock, global rand, or map-range iteration in
+//	             simulation/aggregation code
+//	steadystate  //patch:steadystate functions contain no syntactic
+//	             allocation sources
+//	wirecheck    wire structs carry explicit snake_case json tags; wire
+//	             integer enums implement MarshalJSON/UnmarshalJSON
+//	poolpair     pooled acquisitions are released, stored, returned, or
+//	             handed to an annotated sink
+//
+// Usage:
+//
+//	patchlint [-github] [-list] [packages...]
+//
+// Patterns default to ./... relative to the current directory. The
+// exit status is 1 if any diagnostic is reported, 2 on operational
+// failure. -github additionally emits GitHub Actions workflow
+// annotations (::error file=...) so findings render inline on pull
+// requests.
+//
+// Suppress a finding with an explanation on the flagged line or the
+// line above:
+//
+//	//lint:allow <analyzer> <reason>
+//
+// The reason is mandatory; malformed or misspelled directives are
+// themselves diagnostics.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"patch/internal/analysis"
+)
+
+func main() {
+	github := flag.Bool("github", false, "also emit GitHub Actions ::error annotations")
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: patchlint [-github] [-list] [packages...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	suite := analysis.PatchSuite()
+	if *list {
+		for _, a := range suite {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, err := analysis.Load(cwd, patterns...)
+	if err != nil {
+		fatal(err)
+	}
+	diags := analysis.Run(pkgs, suite)
+	for _, d := range diags {
+		fmt.Printf("%s\n", d)
+		if *github {
+			// Annotation text must stay on one line for the workflow
+			// command parser.
+			msg := strings.ReplaceAll(d.Analyzer+": "+d.Message, "\n", " ")
+			fmt.Printf("::error file=%s,line=%d,col=%d::%s\n", d.Pos.Filename, d.Pos.Line, d.Pos.Column, msg)
+		}
+	}
+	if len(diags) > 0 {
+		fmt.Printf("patchlint: %d diagnostic(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "patchlint: %v\n", err)
+	os.Exit(2)
+}

@@ -1,0 +1,148 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DeterminismConfig scopes the determinism contract.
+type DeterminismConfig struct {
+	// Scope selects the packages (and files) where simulation results
+	// or event scheduling can be reached, i.e. where nondeterminism is
+	// a correctness bug rather than a style preference.
+	Scope Scope
+}
+
+// NewDeterminism returns the determinism analyzer: inside the scoped
+// simulation/aggregation code it forbids
+//
+//   - time.Now / time.Since / time.Until — simulated time comes from
+//     event.Engine.Now; wall-clock reads make runs unrepeatable;
+//   - package-level math/rand functions (rand.Intn, rand.Shuffle, ...)
+//     — they draw from the global, lock-shared source; all randomness
+//     must flow from a seeded *rand.Rand;
+//   - range over a built-in map — iteration order is randomised per
+//     process, so any map-range whose body can reach results, error
+//     selection or scheduling breaks byte-identical replay. The
+//     internal/addrmap type is the sanctioned deterministic-order
+//     container; otherwise extract and sort the keys, or suppress with
+//     //lint:allow determinism <why order cannot escape>.
+func NewDeterminism(cfg DeterminismConfig) *Analyzer {
+	a := &Analyzer{
+		Name: "determinism",
+		Doc:  "forbid wall-clock time, global rand, and map-range iteration in simulation and aggregation code",
+	}
+	a.Run = func(pass *Pass) error {
+		ok, only := cfg.Scope.Match(pass.Path)
+		if !ok {
+			return nil
+		}
+		for _, f := range pass.Files {
+			if !inFiles(pass.Fset, f.Pos(), only) {
+				continue
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					checkDeterminismCall(pass, n)
+				case *ast.RangeStmt:
+					if t := pass.TypesInfo.Types[n.X].Type; t != nil {
+						if _, isMap := t.Underlying().(*types.Map); isMap && !isKeyCollect(pass, n) {
+							pass.Reportf(n.Pos(), "range over built-in map: iteration order is randomised per run; use internal/addrmap, sort the keys first, or //lint:allow determinism <reason>")
+						}
+					}
+				}
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}
+
+// isKeyCollect recognises the one sanctioned map-range idiom: a body
+// that does nothing but append the range variables to a slice,
+//
+//	for k := range m { keys = append(keys, k) }
+//
+// which erases iteration order provided the slice is sorted before
+// use (the natural next line; a collected-but-unsorted slice is the
+// reviewer's to catch).
+func isKeyCollect(pass *Pass, n *ast.RangeStmt) bool {
+	if n.Body == nil || len(n.Body.List) != 1 {
+		return false
+	}
+	as, ok := n.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return false
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fun, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if b, ok := pass.TypesInfo.Uses[fun].(*types.Builtin); !ok || b.Name() != "append" {
+		return false
+	}
+	if len(call.Args) < 2 {
+		return false
+	}
+	// append's base must be the assignment target, and every appended
+	// element must be a range variable.
+	base, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	lhs, ok2 := ast.Unparen(as.Lhs[0]).(*ast.Ident)
+	if !ok || !ok2 || base.Name != lhs.Name {
+		return false
+	}
+	isRangeVar := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return false
+		}
+		for _, rv := range []ast.Expr{n.Key, n.Value} {
+			if rvID, ok := rv.(*ast.Ident); ok && pass.TypesInfo.Defs[rvID] != nil && pass.TypesInfo.Uses[id] == pass.TypesInfo.Defs[rvID] {
+				return true
+			}
+		}
+		return false
+	}
+	for _, arg := range call.Args[1:] {
+		if !isRangeVar(arg) {
+			return false
+		}
+	}
+	return true
+}
+
+// globalRandConstructors are the math/rand package-level functions that
+// do not touch the global source.
+var globalRandConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true,
+}
+
+func checkDeterminismCall(pass *Pass, call *ast.CallExpr) {
+	fn := calleeOf(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	pkgLevel := sig != nil && sig.Recv() == nil
+	switch fn.Pkg().Path() {
+	case "time":
+		switch fn.Name() {
+		case "Now", "Since", "Until":
+			pass.Reportf(call.Pos(), "time.%s in simulation code: simulated time must come from the event engine, never the wall clock", fn.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		if pkgLevel && !globalRandConstructors[fn.Name()] {
+			pass.Reportf(call.Pos(), "%s.%s draws from the global rand source: use a seeded *rand.Rand plumbed from the configuration seed", fn.Pkg().Name(), fn.Name())
+		}
+	}
+}

@@ -1,0 +1,198 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// DirectiveAnalyzer is the name malformed-annotation diagnostics are
+// reported under. It is not a real Analyzer — directive syntax errors
+// are produced while loading and are deliberately not suppressible
+// (a //lint:allow cannot vouch for itself).
+const DirectiveAnalyzer = "directive"
+
+const (
+	allowPrefix = "//lint:allow"
+	patchPrefix = "//patch:"
+)
+
+// patchDirectives are the recognised //patch: annotations. steadystate
+// marks a function whose body must stay allocation-free (enforced by
+// the steadystate analyzer); sink marks a function that takes ownership
+// of pooled values passed to it (consumed by the poolpair analyzer).
+var patchDirectives = map[string]bool{
+	"steadystate": true,
+	"sink":        true,
+}
+
+// allow is one well-formed //lint:allow suppression.
+type allow struct {
+	analyzer string
+	reason   string
+	line     int
+	pos      token.Position
+}
+
+// scanDirectives parses every //lint:allow and //patch: comment in the
+// package. Well-formed allows populate the suppression index; anything
+// malformed — missing analyzer, missing reason, unknown or misplaced
+// //patch: directive — becomes a diagnostic, so a typo can never
+// silently disable a contract.
+func (p *Package) scanDirectives() {
+	p.allows = map[string][]allow{}
+	for _, f := range p.Files {
+		// Doc-comment groups attached to function declarations are the
+		// only sanctioned home for //patch: directives.
+		funcDoc := map[*ast.Comment]bool{}
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Doc != nil {
+				for _, c := range fd.Doc.List {
+					funcDoc[c] = true
+				}
+			}
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				switch {
+				case strings.HasPrefix(c.Text, allowPrefix):
+					p.scanAllow(c)
+				case strings.HasPrefix(c.Text, patchPrefix):
+					p.scanPatch(c, funcDoc[c])
+				}
+			}
+		}
+	}
+}
+
+func (p *Package) scanAllow(c *ast.Comment) {
+	pos := p.Fset.Position(c.Pos())
+	rest := strings.TrimPrefix(c.Text, allowPrefix)
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		// e.g. //lint:allowx — some other tool's directive, not ours.
+		return
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 2 {
+		p.malformed = append(p.malformed, Diagnostic{
+			Pos:      pos,
+			Analyzer: DirectiveAnalyzer,
+			Message:  fmt.Sprintf("malformed %s: need %q", strings.TrimSpace(c.Text), allowPrefix+" <analyzer> <reason>"),
+		})
+		return
+	}
+	p.allows[pos.Filename] = append(p.allows[pos.Filename], allow{
+		analyzer: fields[0],
+		reason:   strings.Join(fields[1:], " "),
+		line:     pos.Line,
+		pos:      pos,
+	})
+}
+
+func (p *Package) scanPatch(c *ast.Comment, onFunc bool) {
+	pos := p.Fset.Position(c.Pos())
+	name := strings.TrimPrefix(c.Text, patchPrefix)
+	if !patchDirectives[name] {
+		known := make([]string, 0, len(patchDirectives))
+		for d := range patchDirectives {
+			known = append(known, patchPrefix+d)
+		}
+		insertionSort(known)
+		p.malformed = append(p.malformed, Diagnostic{
+			Pos:      pos,
+			Analyzer: DirectiveAnalyzer,
+			Message:  fmt.Sprintf("unknown directive %q (know %s; directives take no arguments)", c.Text, strings.Join(known, ", ")),
+		})
+		return
+	}
+	if !onFunc {
+		p.malformed = append(p.malformed, Diagnostic{
+			Pos:      pos,
+			Analyzer: DirectiveAnalyzer,
+			Message:  fmt.Sprintf("misplaced %q: must be part of a function declaration's doc comment", c.Text),
+		})
+	}
+}
+
+func insertionSort(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// suppressed reports whether a diagnostic from the named analyzer at
+// position is covered by an allow on the same line or the line above.
+func (p *Package) suppressed(analyzer string, pos token.Position) bool {
+	for _, a := range p.allows[pos.Filename] {
+		if a.analyzer == analyzer && (a.line == pos.Line || a.line == pos.Line-1) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkAllowTargets reports an error diagnostic for every //lint:allow
+// naming an analyzer that is not part of the running suite — the
+// misspelled suppression would otherwise sit in the tree doing nothing
+// while its author believes the finding is waived.
+func checkAllowTargets(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	known := map[string]bool{}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		for _, file := range pkg.allows {
+			for _, a := range file {
+				if !known[a.analyzer] {
+					out = append(out, Diagnostic{
+						Pos:      a.pos,
+						Analyzer: DirectiveAnalyzer,
+						Message:  fmt.Sprintf("//lint:allow names unknown analyzer %q", a.analyzer),
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// directiveFuncs returns the functions in the package whose doc comment
+// carries the named //patch: directive.
+func directiveFuncs(pkg *Pass, name string) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	want := patchPrefix + name
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				if c.Text == want {
+					out = append(out, fd)
+					break
+				}
+			}
+		}
+	}
+	return out
+}
+
+// hasDirective reports whether the function declaration carries the
+// named //patch: directive.
+func hasDirective(fd *ast.FuncDecl, name string) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	want := patchPrefix + name
+	for _, c := range fd.Doc.List {
+		if c.Text == want {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,235 @@
+package analysis
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// fixtureSuite mirrors PatchSuite but scoped to the fixture module, so
+// each analyzer's contract is pinned independently of the repository's
+// own configuration.
+func fixtureSuite() []*Analyzer {
+	return []*Analyzer{
+		NewDeterminism(DeterminismConfig{
+			Scope: Scope{Paths: []string{"fix/det"}},
+		}),
+		NewSteadyState(),
+		NewWirecheck(WirecheckConfig{
+			Scope:        Scope{Paths: []string{"fix/wire"}},
+			ModulePrefix: "fix",
+		}),
+		NewPoolpair(PoolpairConfig{
+			Scope: Scope{Paths: []string{"fix/pool"}},
+			Seams: []Seam{{
+				Name:     "fl",
+				Acquires: []FuncRef{{Pkg: "fix/pool", Recv: "Pool", Name: "Get"}},
+				Releases: []FuncRef{{Pkg: "fix/pool", Recv: "Pool", Name: "Put"}},
+			}},
+		}),
+	}
+}
+
+var wantRE = regexp.MustCompile("^// want(-next)? `(.*)`$")
+
+// loadFixture loads the fixture module and returns its packages.
+func loadFixture(t *testing.T) []*Package {
+	t.Helper()
+	pkgs, err := Load(filepath.Join("testdata", "src", "fix"), "./...")
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	return pkgs
+}
+
+// TestFixtures is the analysistest-style battery: every fixture line
+// carrying a `// want` (same line) or `// want-next` (next line, for
+// expectations about comment-only lines) must produce a matching
+// diagnostic, and every diagnostic must be wanted.
+func TestFixtures(t *testing.T) {
+	pkgs := loadFixture(t)
+	diags := Run(pkgs, fixtureSuite())
+
+	type key struct {
+		file string
+		line int
+	}
+	type want struct {
+		re      *regexp.Regexp
+		raw     string
+		matched bool
+	}
+	wants := map[key][]*want{}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for i, c := range cg.List {
+					m := wantRE.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					line := pos.Line
+					if m[1] == "-next" {
+						// The expectation targets the next non-blank
+						// comment in the group (gofmt separates
+						// directives from doc text with a bare //).
+						line++
+						for j := i + 1; j < len(cg.List); j++ {
+							if cg.List[j].Text != "//" {
+								line = pkg.Fset.Position(cg.List[j].Pos()).Line
+								break
+							}
+						}
+					}
+					re, err := regexp.Compile(m[2])
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, m[2], err)
+					}
+					k := key{pos.Filename, line}
+					wants[k] = append(wants[k], &want{re: re, raw: m[2]})
+				}
+			}
+		}
+	}
+	if len(wants) == 0 {
+		t.Fatal("no // want expectations found in fixtures")
+	}
+
+	for _, d := range diags {
+		k := key{d.Pos.Filename, d.Pos.Line}
+		matched := false
+		for _, w := range wants[k] {
+			if w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic at %s: %s: %s", d.Pos, d.Analyzer, d.Message)
+		}
+	}
+	for k, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s:%d: want %q matched no diagnostic", k.file, k.line, w.raw)
+			}
+		}
+	}
+}
+
+// TestSuppression pins the //lint:allow mechanics directly: the same
+// package yields a diagnostic without a suppression and none with one.
+func TestSuppression(t *testing.T) {
+	pkgs := loadFixture(t)
+	diags := Run(pkgs, fixtureSuite())
+	for _, d := range diags {
+		if strings.Contains(d.Pos.Filename, "det.go") && d.Pos.Line > 40 {
+			t.Errorf("suppressed region still diagnosed: %s", d)
+		}
+	}
+	// The suppressed map-range at the bottom of det.go must not appear,
+	// while the unsuppressed one above it must: count determinism
+	// map-range findings in det.go.
+	n := 0
+	for _, d := range diags {
+		if strings.Contains(d.Pos.Filename, "det.go") && strings.Contains(d.Message, "range over built-in map") {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Errorf("want exactly 1 unsuppressed map-range diagnostic in det.go, got %d", n)
+	}
+}
+
+// TestDirectiveErrors pins that annotation parsing failures are hard
+// errors: the direct fixture package must produce exactly its wanted
+// set of directive diagnostics, all attributed to the directive
+// pseudo-analyzer.
+func TestDirectiveErrors(t *testing.T) {
+	pkgs := loadFixture(t)
+	diags := Run(pkgs, fixtureSuite())
+	n := 0
+	for _, d := range diags {
+		if !strings.Contains(d.Pos.Filename, "direct.go") {
+			continue
+		}
+		n++
+		if d.Analyzer != DirectiveAnalyzer {
+			t.Errorf("direct.go diagnostic attributed to %q, want %q: %s", d.Analyzer, DirectiveAnalyzer, d)
+		}
+	}
+	if n != 7 {
+		t.Errorf("want 7 directive diagnostics in direct.go, got %d", n)
+	}
+}
+
+// TestScopeMatch pins the pattern semantics Scope uses.
+func TestScopeMatch(t *testing.T) {
+	s := Scope{
+		Paths: []string{"patch", "patch/internal/protocol/...", "patch/service"},
+		Files: map[string][]string{"patch": {"sweep.go"}},
+	}
+	cases := []struct {
+		path  string
+		match bool
+		files []string
+	}{
+		{"patch", true, []string{"sweep.go"}},
+		{"patch/service", true, nil},
+		{"patch/internal/protocol", true, nil},
+		{"patch/internal/protocol/tokenb", true, nil},
+		{"patch/internal/protocolx", false, nil},
+		{"patch/internal", false, nil},
+		{"patchx", false, nil},
+	}
+	for _, c := range cases {
+		ok, files := s.Match(c.path)
+		if ok != c.match {
+			t.Errorf("Match(%q) = %v, want %v", c.path, ok, c.match)
+		}
+		if fmt.Sprint(files) != fmt.Sprint(c.files) {
+			t.Errorf("Match(%q) files = %v, want %v", c.path, files, c.files)
+		}
+	}
+}
+
+// TestSnakeCase pins the wire-name grammar.
+func TestSnakeCase(t *testing.T) {
+	for name, ok := range map[string]bool{
+		"seed":           true,
+		"lease_ms":       true,
+		"cache_hits2":    true,
+		"":               false,
+		"Seed":           false,
+		"badCase":        false,
+		"kebab-case":     false,
+		"_leading":       false,
+		"2cores":         false,
+		"dotted.name":    false,
+		"snake_case_ok3": true,
+	} {
+		if got := isSnakeCase(name); got != ok {
+			t.Errorf("isSnakeCase(%q) = %v, want %v", name, got, ok)
+		}
+	}
+}
+
+// TestRepoClean is the acceptance gate in miniature: the repository's
+// own suite must run clean over the whole module, so any new violation
+// fails the unit tests even before CI runs cmd/patchlint.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module")
+	}
+	pkgs, err := Load(filepath.Join("..", ".."), "./...")
+	if err != nil {
+		t.Fatalf("loading repository: %v", err)
+	}
+	diags := Run(pkgs, PatchSuite())
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

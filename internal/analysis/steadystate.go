@@ -1,0 +1,155 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// escapingPkgs are packages whose exported functions allocate or force
+// their arguments to escape (interface boxing, reflection, closure
+// adapters); calling into them from a steady-state path always costs
+// allocations.
+var escapingPkgs = map[string]bool{
+	"fmt":    true,
+	"errors": true,
+	"log":    true,
+	"sort":   true,
+}
+
+// NewSteadyState returns the steadystate analyzer: the static twin of
+// the AllocsPerRun budgets. A function annotated
+//
+//	//patch:steadystate
+//
+// is a hot path that must run allocation-free once warm, so its body
+// must not contain
+//
+//   - closure literals capturing enclosing variables (each capture
+//     heap-allocates the closure; schedule a pooled event.Task
+//     instead),
+//   - append to a slice declared fresh inside the function (append
+//     must reuse receiver/parameter-owned capacity, e.g.
+//     m.done = append(m.done, ...)),
+//   - map or slice composite literals, make, or new,
+//   - calls into fmt/errors/log/sort (boxing and formatting escape
+//     their arguments).
+//
+// The annotation is parsed strictly: //patch: directives that are
+// misspelled, carry arguments, or sit anywhere but a function doc
+// comment are themselves diagnostics (see DirectiveAnalyzer) — a
+// malformed annotation must never silently disable the contract.
+func NewSteadyState() *Analyzer {
+	a := &Analyzer{
+		Name: "steadystate",
+		Doc:  "functions marked //patch:steadystate must not contain syntactic allocation sources",
+	}
+	a.Run = func(pass *Pass) error {
+		for _, fd := range directiveFuncs(pass, "steadystate") {
+			if fd.Body == nil {
+				pass.Reportf(fd.Pos(), "//patch:steadystate on a function with no body")
+				continue
+			}
+			checkSteadyBody(pass, fd)
+		}
+		return nil
+	}
+	return a
+}
+
+func checkSteadyBody(pass *Pass, fd *ast.FuncDecl) {
+	name := fd.Name.Name
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if captured := capturedVar(pass, fd, n); captured != "" {
+				pass.Reportf(n.Pos(), "steady-state %s contains a closure capturing %q: each capture heap-allocates; use a pooled event.Task or pass state explicitly", name, captured)
+			}
+		case *ast.CompositeLit:
+			if t := pass.TypesInfo.Types[n].Type; t != nil {
+				switch t.Underlying().(type) {
+				case *types.Map:
+					pass.Reportf(n.Pos(), "steady-state %s allocates a map literal", name)
+				case *types.Slice:
+					pass.Reportf(n.Pos(), "steady-state %s allocates a slice literal", name)
+				}
+			}
+		case *ast.CallExpr:
+			checkSteadyCall(pass, fd, name, n)
+		}
+		return true
+	})
+}
+
+func checkSteadyCall(pass *Pass, fd *ast.FuncDecl, name string, call *ast.CallExpr) {
+	// Builtins: append to a fresh local, make, new.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "append":
+				if len(call.Args) > 0 {
+					if v := freshLocalRoot(pass, fd, call.Args[0]); v != "" {
+						pass.Reportf(call.Pos(), "steady-state %s appends to %q, a slice declared inside the function: append must reuse receiver- or parameter-owned capacity", name, v)
+					}
+				}
+			case "make":
+				pass.Reportf(call.Pos(), "steady-state %s calls make: allocate in construction/Reset, not on the hot path", name)
+			case "new":
+				pass.Reportf(call.Pos(), "steady-state %s calls new: allocate in construction/Reset, not on the hot path", name)
+			}
+			return
+		}
+	}
+	if fn := calleeOf(pass.TypesInfo, call); fn != nil && fn.Pkg() != nil && escapingPkgs[fn.Pkg().Path()] {
+		pass.Reportf(call.Pos(), "steady-state %s calls %s.%s, which allocates or escapes its arguments", name, fn.Pkg().Name(), fn.Name())
+	}
+}
+
+// capturedVar returns the name of a variable the closure captures from
+// the enclosing function (receiver, parameter or local), or "".
+func capturedVar(pass *Pass, fd *ast.FuncDecl, lit *ast.FuncLit) string {
+	captured := ""
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if captured != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		if v.Pos() >= fd.Pos() && v.Pos() < fd.End() && (v.Pos() < lit.Pos() || v.Pos() >= lit.End()) {
+			captured = v.Name()
+		}
+		return true
+	})
+	return captured
+}
+
+// freshLocalRoot unwraps slice/index expressions to the root operand
+// and returns its name if it is a bare identifier declared inside the
+// function body (a fresh slice whose append must grow from nil);
+// receiver fields, parameters and package-level slices return "".
+func freshLocalRoot(pass *Pass, fd *ast.FuncDecl, e ast.Expr) string {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.Ident:
+			v, ok := pass.TypesInfo.Uses[x].(*types.Var)
+			if !ok || v.IsField() {
+				return ""
+			}
+			if fd.Body != nil && v.Pos() >= fd.Body.Pos() && v.Pos() < fd.Body.End() {
+				return v.Name()
+			}
+			return ""
+		default:
+			return ""
+		}
+	}
+}

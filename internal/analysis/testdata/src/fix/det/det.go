@@ -1,0 +1,45 @@
+// Package det exercises the determinism analyzer.
+package det
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func wallClock() time.Duration {
+	t := time.Now()     // want `time\.Now in simulation code`
+	d := time.Since(t)  // want `time\.Since in simulation code`
+	_ = time.Until(t)   // want `time\.Until in simulation code`
+	_ = time.Unix(0, 0) // ok: not a clock read
+	_ = time.Second     // ok: constant
+	return d
+}
+
+func globalRand() int {
+	n := rand.Intn(10)                 // want `rand\.Intn draws from the global rand source`
+	rand.Shuffle(n, func(i, j int) {}) // want `rand\.Shuffle draws from the global rand source`
+	r := rand.New(rand.NewSource(1))   // ok: seeded constructor
+	return r.Intn(10)                  // ok: method on seeded *rand.Rand
+}
+
+func mapOrder(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want `range over built-in map`
+		total += v
+	}
+	// The sanctioned sort idiom: collect keys, then sort.
+	keys := make([]string, 0, len(m))
+	for k := range m { // ok: key-collect append pattern
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys { // ok: slice range
+		total += m[k]
+	}
+	//lint:allow determinism order folds into a commutative sum
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

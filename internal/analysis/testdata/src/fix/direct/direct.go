@@ -1,0 +1,35 @@
+// Package direct exercises directive parsing: malformed annotations
+// must error, never silently disable a contract.
+package direct
+
+// want-next `unknown directive "//patch:steadystate extra"`
+//
+//patch:steadystate extra
+func annotatedWithArgs() {}
+
+// want-next `unknown directive "//patch:stedystate"`
+//
+//patch:stedystate
+func typoDirective() {}
+
+// want-next `misplaced "//patch:steadystate"`
+//
+//patch:steadystate
+type notAFunc struct{}
+
+// want-next `misplaced "//patch:sink"`
+//
+//patch:sink
+var notAFuncEither int
+
+func body() int {
+	// want-next `malformed //lint:allow`
+	//lint:allow
+	a := 0
+	// want-next `malformed //lint:allow determinism`
+	//lint:allow determinism
+	b := 1
+	// want-next `//lint:allow names unknown analyzer "nosuchanalyzer"`
+	//lint:allow nosuchanalyzer the analyzer name is misspelled
+	return a + b + notAFuncEither
+}

@@ -1,0 +1,91 @@
+// Package pool exercises the poolpair analyzer against a miniature
+// free-list seam (configured in the test).
+package pool
+
+// T is the pooled value.
+type T struct{ n int }
+
+func (t *T) noop() {}
+
+// Pool is the seam: Get acquires, Put releases.
+type Pool struct{ free []*T }
+
+func (p *Pool) Get() *T {
+	if l := len(p.free); l > 0 {
+		t := p.free[l-1]
+		p.free = p.free[:l-1]
+		return t // ok: the acquire wrapper itself is exempt
+	}
+	return &T{}
+}
+
+func (p *Pool) Put(t *T) { p.free = append(p.free, t) }
+
+type holder struct {
+	cur *T
+	tab map[int]*T
+}
+
+// consume takes ownership of its argument.
+//
+//patch:sink
+func consume(t *T) {}
+
+// use does not take ownership.
+func use(t *T) {}
+
+func leak(p *Pool) {
+	t := p.Get() // want `"t" acquired from fl seam is never released`
+	t.noop()
+}
+
+func blankLeak(p *Pool) {
+	t := p.Get() // want `"t" acquired from fl seam is never released`
+	_ = t
+}
+
+func discard(p *Pool) {
+	p.Get() // want `acquired from fl seam \(Get\) is discarded`
+}
+
+func flowsIntoNonSink(p *Pool) {
+	use(p.Get()) // want `flows into use, which is not a release or annotated sink`
+}
+
+func released(p *Pool) {
+	t := p.Get() // ok: released below
+	t.noop()
+	p.Put(t)
+}
+
+func storedField(p *Pool, h *holder) {
+	t := p.Get() // ok: stored into a field
+	h.cur = t
+}
+
+func storedMap(p *Pool, h *holder) {
+	t := p.Get() // ok: stored into a map
+	h.tab[1] = t
+}
+
+func returned(p *Pool) *T {
+	t := p.Get() // ok: returned
+	return t
+}
+
+func returnedDirect(p *Pool) *T {
+	return p.Get() // ok: returned directly
+}
+
+func viaSink(p *Pool) {
+	t := p.Get() // ok: handed to a //patch:sink function
+	consume(t)
+}
+
+func viaSinkDirect(p *Pool) {
+	consume(p.Get()) // ok: flows straight into a sink
+}
+
+func inComposite(p *Pool) holder {
+	return holder{cur: p.Get()} // ok: stored into a composite literal
+}

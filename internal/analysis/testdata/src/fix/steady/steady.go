@@ -1,0 +1,59 @@
+// Package steady exercises the steadystate analyzer.
+package steady
+
+import "fmt"
+
+type ring struct {
+	buf   []int
+	spare []int
+}
+
+//patch:steadystate
+func (r *ring) hotOK(vs []int, n int) {
+	r.buf = append(r.buf, n)                 // ok: receiver-owned capacity
+	vs = append(vs, n)                       // ok: parameter-owned capacity
+	r.spare = r.buf[:0]                      // ok: no allocation
+	f := func(a, b int) int { return a + b } // ok: closure captures nothing
+	_ = f(1, 2)
+}
+
+//patch:steadystate
+func (r *ring) hotClosure(n int) {
+	f := func() int { return n } // want `closure capturing "n"`
+	_ = f()
+}
+
+//patch:steadystate
+func (r *ring) hotFreshAppend() {
+	var local []int
+	local = append(local, 1) // want `appends to "local", a slice declared inside the function`
+	_ = local
+}
+
+//patch:steadystate
+func (r *ring) hotLiterals() {
+	_ = map[int]int{} // want `allocates a map literal`
+	_ = []int{1, 2}   // want `allocates a slice literal`
+	_ = [2]int{1, 2}  // ok: array literal lives on the stack
+	_ = ring{}        // ok: struct literal by value
+}
+
+//patch:steadystate
+func (r *ring) hotMakeNew() {
+	_ = make([]int, 4) // want `calls make`
+	_ = new(ring)      // want `calls new`
+}
+
+//patch:steadystate
+func (r *ring) hotFmt(err error) {
+	fmt.Println(err) // want `calls fmt\.Println`
+}
+
+// coldPath is unannotated: the same constructs are fine here.
+func (r *ring) coldPath(n int) {
+	var local []int
+	local = append(local, n)
+	_ = map[int]int{n: n}
+	f := func() int { return n }
+	_ = f()
+}

@@ -1,0 +1,41 @@
+// Package wire exercises the wirecheck analyzer.
+package wire
+
+import "encoding/json"
+
+// Color is an integer enum with both marshalling methods: fine on the
+// wire.
+type Color int
+
+func (c Color) MarshalJSON() ([]byte, error)  { return json.Marshal(int(c)) }
+func (c *Color) UnmarshalJSON(b []byte) error { return json.Unmarshal(b, (*int)(c)) }
+
+// Shape is an integer enum with no marshalling methods.
+type Shape int
+
+// Mood is a string enum: its value is its own stable wire form.
+type Mood string
+
+// Inner is a fully tagged wire struct.
+type Inner struct {
+	Depth int `json:"depth"`
+}
+
+type Message struct {
+	ID       string  `json:"id"`
+	Color    Color   `json:"color"`
+	Shapes   []Shape `json:"shapes"` // want `enum wire\.Shape must implement MarshalJSON and UnmarshalJSON`
+	Mood     Mood    `json:"mood"`
+	Untagged int     // want `exported field Untagged has no json tag`
+	BadCase  int     `json:"BadCase"` // want `json name "BadCase" is not snake_case`
+	Skipped  Shape   `json:"-"`       // ok: excluded from the wire
+	hidden   int     // ok: unexported
+	Inner            // ok: embedded struct inlines its own tagged fields
+}
+
+// plain is not a wire struct: no json tags anywhere, so the contract
+// does not apply.
+type plain struct {
+	A int
+	B string
+}

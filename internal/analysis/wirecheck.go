@@ -1,0 +1,218 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"reflect"
+	"strings"
+)
+
+// WirecheckConfig scopes the wire-stability contract.
+type WirecheckConfig struct {
+	// Scope selects the packages holding the JSON wire surface.
+	Scope Scope
+
+	// ModulePrefix identifies this module's import paths: enum method
+	// requirements apply only to types defined inside the module
+	// (stdlib types are not ours to annotate).
+	ModulePrefix string
+}
+
+// NewWirecheck returns the wirecheck analyzer. Within the scoped wire
+// surface, any struct that carries at least one json tag is a wire
+// struct, and for wire structs:
+//
+//   - every exported field must carry an explicit json tag whose name
+//     is snake_case (or "-"): the wire spelling is protocol, not a
+//     reflection accident of the Go field name;
+//   - every module-defined integer enum reachable as a field type must
+//     implement both MarshalJSON and UnmarshalJSON, so the wire form
+//     is a stable name that survives renumbering of the Go constants
+//     (string-underlying enums are exempt — their value is its own
+//     stable wire form).
+func NewWirecheck(cfg WirecheckConfig) *Analyzer {
+	a := &Analyzer{
+		Name: "wirecheck",
+		Doc:  "wire structs need explicit snake_case json tags; wire integer enums need MarshalJSON/UnmarshalJSON",
+	}
+	a.Run = func(pass *Pass) error {
+		ok, only := cfg.Scope.Match(pass.Path)
+		if !ok {
+			return nil
+		}
+		reportedEnum := map[*types.TypeName]bool{}
+		for _, f := range pass.Files {
+			if !inFiles(pass.Fset, f.Pos(), only) {
+				continue
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				ts, ok := n.(*ast.TypeSpec)
+				if !ok {
+					return true
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					return true
+				}
+				checkWireStruct(pass, cfg, ts.Name.Name, st, reportedEnum)
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}
+
+// jsonTag extracts the json struct tag from a field's raw tag literal.
+func jsonTag(f *ast.Field) (tag string, ok bool) {
+	if f.Tag == nil {
+		return "", false
+	}
+	raw := strings.Trim(f.Tag.Value, "`")
+	return reflect.StructTag(raw).Lookup("json")
+}
+
+func isSnakeCase(s string) bool {
+	if s == "" {
+		return false
+	}
+	if s[0] < 'a' || s[0] > 'z' {
+		return false
+	}
+	for i := 1; i < len(s); i++ {
+		c := s[i]
+		if (c < 'a' || c > 'z') && (c < '0' || c > '9') && c != '_' {
+			return false
+		}
+	}
+	return true
+}
+
+func checkWireStruct(pass *Pass, cfg WirecheckConfig, name string, st *ast.StructType, reportedEnum map[*types.TypeName]bool) {
+	tagged := false
+	for _, f := range st.Fields.List {
+		if _, ok := jsonTag(f); ok {
+			tagged = true
+			break
+		}
+	}
+	if !tagged {
+		return // not a wire struct
+	}
+	for _, f := range st.Fields.List {
+		exported := false
+		fieldName := ""
+		if len(f.Names) == 0 {
+			// Embedded field: exported iff the (possibly qualified)
+			// type name is. Embedding a struct inlines its fields into
+			// the JSON object — that is the explicit intent, and the
+			// embedded type's own tags are checked where it is
+			// declared — so only non-struct embeddings need a tag
+			// here.
+			if t := pass.TypesInfo.Types[f.Type].Type; t != nil {
+				if _, isStruct := t.Underlying().(*types.Struct); isStruct {
+					continue
+				}
+			}
+			fieldName = embeddedName(f.Type)
+			exported = ast.IsExported(fieldName)
+		} else {
+			for _, id := range f.Names {
+				if ast.IsExported(id.Name) {
+					exported = true
+					fieldName = id.Name
+				}
+			}
+		}
+		if !exported {
+			continue
+		}
+		tag, ok := jsonTag(f)
+		if !ok {
+			pass.Reportf(f.Pos(), "wire struct %s: exported field %s has no json tag; the wire name must be spelled out, not inherited from the Go identifier", name, fieldName)
+			continue
+		}
+		wireName, _, _ := strings.Cut(tag, ",")
+		if wireName != "-" && !isSnakeCase(wireName) {
+			pass.Reportf(f.Pos(), "wire struct %s: field %s json name %q is not snake_case", name, fieldName, wireName)
+		}
+		if wireName != "-" {
+			checkWireEnum(pass, cfg, name, f, reportedEnum)
+		}
+	}
+}
+
+func embeddedName(e ast.Expr) string {
+	switch t := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.StarExpr:
+		return embeddedName(t.X)
+	case *ast.SelectorExpr:
+		return t.Sel.Name
+	}
+	return ""
+}
+
+// checkWireEnum flags module-defined integer enums used as wire field
+// types that lack MarshalJSON/UnmarshalJSON.
+func checkWireEnum(pass *Pass, cfg WirecheckConfig, structName string, f *ast.Field, reported map[*types.TypeName]bool) {
+	t := pass.TypesInfo.Types[f.Type].Type
+	if t == nil {
+		return
+	}
+	named := wireEnumType(t)
+	if named == nil {
+		return
+	}
+	obj := named.Obj()
+	if reported[obj] || obj.Pkg() == nil {
+		return
+	}
+	path := obj.Pkg().Path()
+	if cfg.ModulePrefix != "" && !matchPath(cfg.ModulePrefix+"/...", path) && path != cfg.ModulePrefix {
+		return
+	}
+	var missing []string
+	for _, m := range []string{"MarshalJSON", "UnmarshalJSON"} {
+		if !hasMethod(named, m) {
+			missing = append(missing, m)
+		}
+	}
+	if len(missing) > 0 {
+		reported[obj] = true
+		pass.Reportf(f.Pos(), "wire struct %s: enum %s.%s must implement %s so its wire form survives renumbering of the Go constants", structName, obj.Pkg().Name(), obj.Name(), strings.Join(missing, " and "))
+	}
+}
+
+// wireEnumType unwraps containers to a defined type with integer
+// underlying, or nil.
+func wireEnumType(t types.Type) *types.Named {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Slice:
+			t = u.Elem()
+		case *types.Array:
+			t = u.Elem()
+		case *types.Map:
+			t = u.Elem()
+		case *types.Alias:
+			t = types.Unalias(t)
+		case *types.Named:
+			if b, ok := u.Underlying().(*types.Basic); ok && b.Info()&types.IsInteger != 0 {
+				return u
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+}
+
+func hasMethod(t types.Type, name string) bool {
+	obj, _, _ := types.LookupFieldOrMethod(types.NewPointer(t), false, nil, name)
+	_, ok := obj.(*types.Func)
+	return ok
+}

@@ -153,6 +153,8 @@ func (n *Node) Reset(enc directory.Encoding, cfg Config) {
 }
 
 // newMSHR acquires a recycled (or new) MSHR initialised for one miss.
+//
+//patch:steadystate
 func (n *Node) newMSHR(addr msg.Addr, isWrite bool) *mshr {
 	m := n.mshrFree.Get()
 	*m = mshr{
@@ -165,6 +167,8 @@ func (n *Node) newMSHR(addr msg.Addr, isWrite bool) *mshr {
 // freeMSHR recycles a retired MSHR. The caller must already have
 // cancelled its timer and removed it from the MSHR table; callback
 // references are dropped so retired closures stay collectable.
+//
+//patch:steadystate
 func (n *Node) freeMSHR(m *mshr) {
 	clear(m.done)
 	m.done = m.done[:0]

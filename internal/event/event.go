@@ -131,6 +131,7 @@ func (e *Engine) After0(d Time, fn func()) Handle { return e.schedule(e.now+d, n
 // AfterTask schedules task to run d cycles from now.
 func (e *Engine) AfterTask(d Time, task Task) Handle { return e.AtTask(e.now+d, task) }
 
+//patch:steadystate
 func (e *Engine) schedule(t Time, fn Func, fn0 func(), task Task) Handle {
 	if t < e.now {
 		t = e.now
@@ -157,6 +158,8 @@ func (e *Engine) schedule(t Time, fn Func, fn0 func(), task Task) Handle {
 
 // freeItem releases a slot back to the free-list, invalidating handles
 // (and any stale heap entry) via the generation bump.
+//
+//patch:steadystate
 func (e *Engine) freeItem(idx int32) {
 	it := &e.items[idx]
 	it.gen++

@@ -249,6 +249,7 @@ const (
 	taskFanout
 )
 
+//patch:steadystate
 func (n *Network) newTask() *netTask {
 	if l := len(n.taskFree); l > 0 {
 		t := n.taskFree[l-1]
@@ -258,6 +259,7 @@ func (n *Network) newTask() *netTask {
 	return &netTask{net: n}
 }
 
+//patch:steadystate
 func (n *Network) freeTask(t *netTask) {
 	t.m = nil
 	t.route = nil
@@ -284,7 +286,12 @@ func (t *netTask) Fire(now event.Time) {
 	}
 }
 
-// deliver schedules the handler invocation at time at.
+// deliver schedules the handler invocation at time at, taking
+// ownership of m: the delivery task releases it to the pool after the
+// handler runs.
+//
+//patch:sink
+//patch:steadystate
 func (n *Network) deliver(at event.Time, m *msg.Message) {
 	if n.nodes[m.Dst] == nil {
 		panic("interconnect: message to unregistered node")
@@ -308,7 +315,10 @@ func (n *Network) Send(m *msg.Message) {
 }
 
 // sendRouted performs the routing and contention without firing OnSend
-// (multicast copies are announced once by Multicast).
+// (multicast copies are announced once by Multicast). Like Send it
+// consumes the caller's reference to m.
+//
+//patch:sink
 func (n *Network) sendRouted(m *msg.Message) {
 	now := n.eng.Now()
 	if m.Src == m.Dst {
@@ -333,6 +343,8 @@ func (n *Network) sendRouted(m *msg.Message) {
 
 // fireHop traverses route[idx] now that the message has arrived at its
 // near side, rescheduling the same task for the next switch arrival.
+//
+//patch:steadystate
 func (n *Network) fireHop(t *netTask, now event.Time) {
 	next, ok := n.traverse(t.route[t.idx], now, t.ser, t.m.BestEffort)
 	if !ok {
@@ -502,6 +514,8 @@ func (n *Network) walkFrom(w *mcastWalk, node int, arrive event.Time) {
 
 // fireFanout crosses every child link of one tree node, delivering to
 // wanted destinations and scheduling the next level of the walk.
+//
+//patch:steadystate
 func (n *Network) fireFanout(t *netTask, now event.Time) {
 	w := t.walk
 	node := t.node

@@ -20,6 +20,7 @@ package litmus
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"patch/internal/cache"
 	"patch/internal/core"
@@ -381,8 +382,15 @@ func verifyAxioms(p Protocol, script Script, out *Outcome) error {
 			writes[op.Block]++
 		}
 	}
-	for _, idxs := range perCoreIdx {
-		for _, i := range idxs {
+	// Iterate cores in sorted order so which axiom violation is
+	// reported first is deterministic run to run.
+	cores := make([]int, 0, len(perCoreIdx))
+	for c := range perCoreIdx {
+		cores = append(cores, c)
+	}
+	sort.Ints(cores)
+	for _, c := range cores {
+		for _, i := range perCoreIdx[c] {
 			op := script[i]
 			v := out.Observations[i].Version
 			k := key{op.Core, op.Block}
@@ -393,9 +401,15 @@ func verifyAxioms(p Protocol, script Script, out *Outcome) error {
 			last[k] = v
 		}
 	}
-	// Final version equals the store count.
-	for b, want := range writes {
-		if got := out.FinalVersions[b]; got != want {
+	// Final version equals the store count. Blocks are checked in
+	// sorted order so the first reported violation is deterministic.
+	blocks := make([]int, 0, len(writes))
+	for b := range writes {
+		blocks = append(blocks, b)
+	}
+	sort.Ints(blocks)
+	for _, b := range blocks {
+		if got, want := out.FinalVersions[b], writes[b]; got != want {
 			return fmt.Errorf("litmus: %v: block %d final version %d, %d stores", p, b, got, want)
 		}
 	}
@@ -464,9 +478,14 @@ func (s *Suite) Compare(script Script) error {
 		outs = append(outs, o)
 	}
 	base := outs[0]
+	blocks := make([]int, 0, len(base.FinalVersions))
+	for b := range base.FinalVersions {
+		blocks = append(blocks, b)
+	}
+	sort.Ints(blocks)
 	for _, o := range outs[1:] {
-		for b, v := range base.FinalVersions {
-			if o.FinalVersions[b] != v {
+		for _, b := range blocks {
+			if v := base.FinalVersions[b]; o.FinalVersions[b] != v {
 				return fmt.Errorf("litmus: final versions diverge on block %d: %v=%d %v=%d",
 					b, base.Protocol, v, o.Protocol, o.FinalVersions[b])
 			}

@@ -280,6 +280,8 @@ func (n *Node) invalidationTargets(e *directory.Entry, r msg.NodeID) []msg.NodeI
 
 // applyCommit performs the deactivation-time directory update recorded
 // at activation (the former OnDeactivate closure, as data).
+//
+//patch:steadystate
 func (n *Node) applyCommit(e *directory.Entry, deact *msg.Message) {
 	c := e.Commit
 	e.Commit = directory.Commit{}

@@ -96,7 +96,8 @@ func (n *Node) Reset(enc directory.Encoding) {
 	n.dir.Reset(enc, 0)
 	n.dir.LookupLatency = n.Env.DirLatency
 	n.dir.DRAMLatency = n.Env.DRAMLatency
-	for _, m := range n.mshrs { // empty on a quiesced node
+	//lint:allow determinism defensive sweep of a map that is empty on a quiesced node; order cannot matter
+	for _, m := range n.mshrs {
 		n.freeMSHR(m)
 	}
 	clear(n.mshrs)
@@ -104,6 +105,8 @@ func (n *Node) Reset(enc directory.Encoding) {
 }
 
 // newMSHR acquires a recycled (or new) MSHR initialised for one miss.
+//
+//patch:steadystate
 func (n *Node) newMSHR(addr msg.Addr, isWrite bool) *mshr {
 	m := n.mshrFree.Get()
 	*m = mshr{
@@ -115,6 +118,8 @@ func (n *Node) newMSHR(addr msg.Addr, isWrite bool) *mshr {
 
 // freeMSHR recycles a retired MSHR, dropping callback references so
 // retired closures stay collectable.
+//
+//patch:steadystate
 func (n *Node) freeMSHR(m *mshr) {
 	clear(m.done)
 	m.done = m.done[:0]

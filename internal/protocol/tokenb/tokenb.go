@@ -107,7 +107,8 @@ func (n *Node) Reset() {
 	n.mem.Reset(directory.FullMap(n.Env.N), n.Env.Tokens)
 	n.mem.DRAMLatency = n.Env.DRAMLatency
 	n.mem.LookupLatency = n.Env.DirLatency
-	for _, m := range n.mshrs { // empty on a quiesced node
+	//lint:allow determinism defensive sweep of a map that is empty on a quiesced node; order cannot matter
+	for _, m := range n.mshrs {
 		m.timer.Cancel()
 		n.freeMSHR(m)
 	}
@@ -117,6 +118,8 @@ func (n *Node) Reset() {
 }
 
 // newMSHR acquires a recycled (or new) MSHR initialised for one miss.
+//
+//patch:steadystate
 func (n *Node) newMSHR(addr msg.Addr, isWrite bool) *mshr {
 	m := n.mshrFree.Get()
 	*m = mshr{
@@ -129,6 +132,8 @@ func (n *Node) newMSHR(addr msg.Addr, isWrite bool) *mshr {
 // freeMSHR recycles a retired MSHR. The caller must already have
 // cancelled its timer and removed it from the MSHR table; callback
 // references are dropped so retired closures stay collectable.
+//
+//patch:steadystate
 func (n *Node) freeMSHR(m *mshr) {
 	clear(m.done)
 	m.done = m.done[:0]

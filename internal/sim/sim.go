@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 
 	"patch/internal/addrmap"
@@ -820,7 +821,16 @@ func (s *System) checkSingleWriter() error {
 			}
 		})
 	}
-	for a, v := range views {
+	// Check blocks in address order: with several violations present,
+	// map-range order would otherwise pick which error is reported run
+	// to run.
+	addrs := make([]msg.Addr, 0, len(views))
+	for a := range views {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for _, a := range addrs {
+		v := views[a]
 		if v.writers > 1 {
 			return fmt.Errorf("sim: %d writable copies of %#x", v.writers, uint64(a))
 		}

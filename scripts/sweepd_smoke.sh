@@ -23,8 +23,8 @@ server_pid=""
 worker_pid=""
 token="smoke-secret-token"
 cleanup() {
-  [ -n "$server_pid" ] && kill -9 "$server_pid" 2>/dev/null || true
-  [ -n "$worker_pid" ] && kill -9 "$worker_pid" 2>/dev/null || true
+  if [ -n "$server_pid" ]; then kill -9 "$server_pid" 2>/dev/null || true; fi
+  if [ -n "$worker_pid" ]; then kill -9 "$worker_pid" 2>/dev/null || true; fi
   rm -rf "$workdir"
 }
 trap cleanup EXIT
