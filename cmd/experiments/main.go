@@ -11,6 +11,7 @@
 //	experiments -exp fig7           # bandwidth adaptivity, jbb
 //	experiments -exp fig8           # scalability 4..512 cores
 //	experiments -exp fig9           # inexact encodings (fig10 included)
+//	experiments -exp scen           # sharing-pattern scenario figure
 //	experiments -quick              # shrunken smoke-test scale
 //	experiments -workers 8          # bound the sweep worker pool
 //	experiments -progress           # live run counter on stderr
@@ -27,7 +28,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig4, fig5, fig6, fig7, fig8, fig9, fig10")
+	exp := flag.String("exp", "all", "experiment: all, fig4, fig5, fig6, fig7, fig8, fig9, fig10, scen")
 	quick := flag.Bool("quick", false, "shrunken scale for smoke testing")
 	cores := flag.Int("cores", 0, "override core count for fig4-7")
 	ops := flag.Int("ops", 0, "override measured ops/core")
@@ -101,6 +102,10 @@ func main() {
 			sizes = []int{16, 32}
 		}
 		_, err := experiments.InexactEncodings(os.Stdout, sc, sizes)
+		return err
+	})
+	run("scen", func() error {
+		_, err := experiments.ScenarioSweep(os.Stdout, sc)
 		return err
 	})
 	fmt.Printf("total: %v\n", time.Since(start).Round(time.Millisecond))

@@ -26,7 +26,7 @@ import (
 func main() {
 	protoFlag := flag.String("protocol", "patch", "protocol: directory, patch, tokenb")
 	variantFlag := flag.String("variant", "all", "PATCH variant: none, owner, bcast, all, all-na")
-	workload := flag.String("workload", "oltp", "workload: jbb, oltp, apache, barnes, ocean, micro")
+	workload := flag.String("workload", "oltp", "workload: jbb, oltp, apache, barnes, ocean, micro, pipeline, migratory, convoy, falseshare, zipf, phased")
 	cores := flag.Int("cores", 64, "number of cores")
 	ops := flag.Int("ops", 600, "measured operations per core")
 	warmup := flag.Int("warmup", 0, "warmup operations per core (0: same as ops)")

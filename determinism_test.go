@@ -42,6 +42,39 @@ func TestSweepCSVByteIdentical(t *testing.T) {
 	}
 }
 
+// TestScenarioSweepCSVByteIdentical is the registry-wide determinism
+// gate: every registered workload — the paper mixes, micro, and the
+// whole sharing-pattern scenario family — must sweep to byte-identical
+// CSV at worker counts 1 and 4. Workload names are Matrix axis values,
+// so one sweep covers the entire registry; a generator whose per-core
+// streams depend on drive order (or on shared mutable state) diverges
+// here the moment replicas shard across workers.
+func TestScenarioSweepCSVByteIdentical(t *testing.T) {
+	m := Matrix{
+		Base: Config{
+			Cores: 8, OpsPerCore: 80, WarmupOps: 80,
+			Seed: 11, SkipChecks: true,
+		},
+		Workloads: AllWorkloads(),
+		Seeds:     2,
+	}
+	run := func(workers int) []byte {
+		t.Helper()
+		var buf bytes.Buffer
+		if _, err := Sweep(context.Background(), m, Workers(workers), EmitTo(&CSVEmitter{W: &buf})); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return buf.Bytes()
+	}
+	first := run(1)
+	if len(first) == 0 {
+		t.Fatal("empty CSV output")
+	}
+	if par := run(4); !bytes.Equal(first, par) {
+		t.Errorf("workers=4 diverged from sequential:\n--- sequential\n%s\n--- parallel\n%s", first, par)
+	}
+}
+
 // TestReplicaShardingByteIdentical is the determinism gate for the
 // replica-sharded scheduler, and doubles as its race stress under the
 // CI -race job. The matrix is a single cell with Seeds=8, so every bit

@@ -37,14 +37,20 @@ const fingerprintVersion = "patch-config-v1"
 // end-of-run verification, never results. TraceFile participates by
 // path only — the trace's bytes are not hashed — so cached results are
 // trustworthy only while trace files are immutable; prefer fresh paths
-// over editing a trace in place.
+// over editing a trace in place. When TraceFile is set the Workload
+// name is normalised away entirely: the trace supplies every reference,
+// the generator is never built (Validate skips the unknown-workload
+// check too), so two configs replaying the identical trace must not
+// split the cache over a field the simulation ignores.
 func (c Config) Fingerprint() string {
 	cores := c.Cores
 	if cores == 0 {
 		cores = 64
 	}
 	workload := c.Workload
-	if c.TraceFile == "" && workload == "" {
+	if c.TraceFile != "" {
+		workload = ""
+	} else if workload == "" {
 		workload = "micro"
 	}
 	coarseness := c.DirectoryCoarseness

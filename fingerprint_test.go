@@ -74,6 +74,35 @@ func TestFingerprintDistinguishesAxes(t *testing.T) {
 	}
 }
 
+// TestFingerprintTraceIgnoresWorkload: when TraceFile is set the trace
+// supplies every reference and the workload generator is never built
+// (Validate skips the unknown-workload check too), so the Workload name
+// must be normalised out of the fingerprint — two configs replaying the
+// identical trace with different leftover Workload fields would
+// otherwise carry different cache keys and the sweep service would
+// recompute instead of hitting its content-addressed cache.
+func TestFingerprintTraceIgnoresWorkload(t *testing.T) {
+	a := fpBase()
+	a.TraceFile = "/tmp/x.trace"
+	a.Workload = ""
+	b := fpBase()
+	b.TraceFile = "/tmp/x.trace"
+	b.Workload = "oltp"
+	c := fpBase()
+	c.TraceFile = "/tmp/x.trace"
+	c.Workload = "micro"
+	if a.Fingerprint() != b.Fingerprint() || a.Fingerprint() != c.Fingerprint() {
+		t.Errorf("Workload split the cache for trace-backed configs:\n  %q -> %s\n  %q -> %s\n  %q -> %s",
+			a.Workload, a.Fingerprint(), b.Workload, b.Fingerprint(), c.Workload, c.Fingerprint())
+	}
+	// Different traces must still split.
+	d := fpBase()
+	d.TraceFile = "/tmp/y.trace"
+	if a.Fingerprint() == d.Fingerprint() {
+		t.Error("distinct trace files share a fingerprint")
+	}
+}
+
 // TestFingerprintIgnoresIrrelevantFields: Variant only matters under
 // PATCH, and SkipChecks selects verification rather than behaviour —
 // neither may split the cache.

@@ -210,6 +210,55 @@ func Scalability(w io.Writer, sc Scale) (map[int][3]float64, error) {
 	return out, nil
 }
 
+// ScenarioSweep is the scenario figure: every sharing-pattern scenario
+// generator (pipeline, migratory, convoy, falseshare, zipf, phased)
+// under the three protocol families — Directory, PATCH-All, TokenB —
+// with runtime and traffic normalised to Directory per scenario. It
+// asks the paper's Figure 4/5 question across the synthetic scenario
+// axis: which sharing behaviours reward direct requests, and which
+// punish broadcast.
+func ScenarioSweep(w io.Writer, sc Scale) (map[string][]Cell, error) {
+	m := patch.Matrix{
+		Base:      sc.base(),
+		Workloads: patch.ScenarioWorkloads(),
+		Protocols: []patch.ProtoVariant{
+			{Protocol: patch.Directory, Label: "Directory"},
+			{Protocol: patch.PATCH, Variant: patch.VariantAll, Label: "PATCH-All"},
+			{Protocol: patch.TokenB, Label: "TokenB"},
+		},
+		Seeds: sc.Seeds,
+	}
+	res, err := sc.sweep(m)
+	if err != nil {
+		return nil, err
+	}
+	cols := len(m.Protocols)
+	out := make(map[string][]Cell)
+	fmt.Fprintf(w, "== Scenario figure (sharing-pattern generators, %d cores) ==\n", sc.Cores)
+	for i, wl := range m.Workloads {
+		var cells []Cell
+		for _, cr := range res.Cells[i*cols : (i+1)*cols] {
+			cells = append(cells, toCell(cr))
+		}
+		out[wl] = cells
+		dir := cells[0]
+		desc, _ := patch.DescribeWorkload(wl)
+		fmt.Fprintf(w, "\n%s (%s):\n  %-12s %-18s %-14s %s\n",
+			wl, desc, "config", "runtime (norm)", "traffic (norm)", "traffic by class (bytes/miss)")
+		for _, c := range cells {
+			fmt.Fprintf(w, "  %-12s %-6.3f ±%-9.3f %-14.3f Data=%.0f Ack=%.0f Dir=%.0f Ind=%.0f Fwd=%.0f Re=%.0f Act=%.0f\n",
+				c.Label,
+				stats.Ratio(c.Runtime.Mean, dir.Runtime.Mean),
+				stats.Ratio(c.Runtime.CI95, dir.Runtime.Mean),
+				stats.Ratio(c.BytesPerMiss.Mean, dir.BytesPerMiss.Mean),
+				c.ByClass[msg.ClassData], c.ByClass[msg.ClassAck], c.ByClass[msg.ClassDirectReq],
+				c.ByClass[msg.ClassIndirectReq], c.ByClass[msg.ClassForward],
+				c.ByClass[msg.ClassReissue], c.ByClass[msg.ClassActivation])
+		}
+	}
+	return out, nil
+}
+
 // InexactRow is one (cores, coarseness) measurement for Figures 9-10.
 type InexactRow struct {
 	Cores, Coarseness  int

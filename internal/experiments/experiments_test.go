@@ -53,6 +53,33 @@ func TestBandwidthSweepQuick(t *testing.T) {
 	}
 }
 
+func TestScenarioSweepQuick(t *testing.T) {
+	var buf bytes.Buffer
+	cells, err := ScenarioSweep(&buf, quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 6 {
+		t.Fatalf("%d scenarios, want 6", len(cells))
+	}
+	for wl, cs := range cells {
+		if len(cs) != 3 {
+			t.Fatalf("%s: %d cells, want 3 protocols", wl, len(cs))
+		}
+		for _, c := range cs {
+			if c.Runtime.Mean <= 0 || c.BytesPerMiss.Mean <= 0 {
+				t.Fatalf("%s/%s: degenerate cell %+v", wl, c.Label, c)
+			}
+		}
+	}
+	out := buf.String()
+	for _, want := range []string{"Scenario figure", "pipeline", "migratory", "convoy", "falseshare", "zipf", "phased", "Directory", "PATCH-All", "TokenB"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q", want)
+		}
+	}
+}
+
 func TestScalabilityQuick(t *testing.T) {
 	var buf bytes.Buffer
 	rows, err := Scalability(&buf, quick())

@@ -102,7 +102,8 @@ type Config struct {
 	// 0 selects OpsPerCore/2; -1 disables warmup.
 	WarmupOps int
 
-	// Workload is one of workload.Names() or "micro". TraceFile, when
+	// Workload is one of workload.Names() — the paper's application
+	// mixes, "micro", or a sharing-pattern scenario. TraceFile, when
 	// set, overrides it: the reference stream is replayed from a
 	// recorded trace in either supported format — the text format
 	// (workload.Record) is parsed whole, the binary format

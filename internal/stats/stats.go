@@ -21,10 +21,14 @@ type Summary struct {
 }
 
 // tTable holds two-sided 95% Student-t critical values for small sample
-// sizes (df = n-1); beyond the table the normal approximation is used.
+// sizes (df = n-1) through df = 30; beyond the table a monotone
+// Cornish-Fisher tail (z + (z³+z)/(4·df) with z = 1.960) bridges to the
+// normal limit, so the critical value decreases continuously toward
+// 1.960 instead of jumping there at the table edge.
 var tTable = []float64{
 	0, 12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262,
 	2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
 }
 
 // tCrit returns the 95% two-sided critical value for df degrees of
@@ -36,7 +40,11 @@ func tCrit(df int) float64 {
 	if df < len(tTable) {
 		return tTable[df]
 	}
-	return 1.960
+	// First-order Cornish-Fisher expansion of the t quantile about the
+	// normal quantile z: t ≈ z + (z³+z)/(4·df). Strictly decreasing in
+	// df, continuous with the table (df=31 → 2.0365 < 2.042), limit z.
+	const z = 1.960
+	return z + (z*z*z+z)/(4*float64(df))
 }
 
 // Summarize computes the summary of a sample.

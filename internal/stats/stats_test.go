@@ -42,14 +42,34 @@ func TestTCritBounds(t *testing.T) {
 	if tCrit(1) != 12.706 {
 		t.Fatal("df=1 wrong")
 	}
-	if tCrit(100) != 1.960 {
-		t.Fatal("large df should fall back to normal")
+	if got := tCrit(100000); math.Abs(got-1.960) > 1e-3 {
+		t.Fatalf("very large df: tCrit = %f, want -> 1.960", got)
 	}
-	// Critical values decrease with df.
-	for df := 2; df < 25; df++ {
-		if tCrit(df) > tCrit(df-1) {
-			t.Fatalf("tCrit not monotone at df=%d", df)
+}
+
+// TestTCritMonotoneTail: the critical value must decrease strictly with
+// df through the table, across the table edge, and down the analytic
+// tail — the pre-fix table ended at df=20 (2.086) and jumped straight to
+// the normal 1.960 at df=21, silently shrinking reported confidence
+// intervals by ~6% the moment a sweep crossed 21 seeds.
+func TestTCritMonotoneTail(t *testing.T) {
+	for df := 2; df <= 500; df++ {
+		prev, cur := tCrit(df-1), tCrit(df)
+		if cur >= prev {
+			t.Fatalf("tCrit not strictly decreasing at df=%d: %f -> %f", df, prev, cur)
 		}
+		if cur < 1.960 {
+			t.Fatalf("tCrit(%d) = %f fell below the normal limit 1.960", df, cur)
+		}
+	}
+	// No jump at the table edge: the df=20 -> df=21 step must be of the
+	// same order as its neighbours (the pre-fix code stepped 0.126 here,
+	// ~18x the table's local slope).
+	if step := tCrit(20) - tCrit(21); step > 0.01 {
+		t.Fatalf("discontinuity at table edge: tCrit(20)-tCrit(21) = %f", step)
+	}
+	if step := tCrit(30) - tCrit(31); step > 0.01 {
+		t.Fatalf("discontinuity at table-to-tail handoff: tCrit(30)-tCrit(31) = %f", step)
 	}
 }
 

@@ -1,0 +1,170 @@
+// Generator registry: every named workload — the paper's five
+// application mixes, the §8.1 microbenchmark, and the synthetic
+// sharing-pattern scenario family — is registered here under a stable
+// name, replacing the hardcoded map Named used to consult. The registry
+// is what makes scenarios first-class experiment axes: patch.Config
+// validation, Matrix Workloads axes, the litmus conformance matrix,
+// trace recording, and the scenario figure all enumerate the same
+// Names() list, so registering a generator is the whole integration.
+package workload
+
+import "fmt"
+
+// Builder constructs one registered workload's generator for n cores
+// and a seed. Builders must be deterministic: the same (n, seed) always
+// yields a generator producing identical per-core streams, and each
+// core's stream must be independent of the order cores are driven in
+// (RecordBinary captures core by core; the simulator interleaves).
+type Builder func(n int, seed int64) (Generator, error)
+
+// entry is one registered workload.
+type entry struct {
+	name    string
+	params  string // one-line parameter summary (Describe, README, tooling)
+	builder Builder
+}
+
+// registry holds the registered workloads: a lookup map plus the
+// registration-order name list, so enumeration order is deterministic
+// and documented (paper figure order first, then the scenario family)
+// rather than map-range order.
+var registry = struct {
+	order   []string
+	entries map[string]entry
+}{entries: make(map[string]entry)}
+
+// Register adds a named generator builder. The name becomes a valid
+// patch.Config.Workload value, a Matrix axis value, and an entry in
+// Names(). Register panics on an empty or duplicate name: registration
+// happens at package init, so a collision is a programming error, not
+// an input error.
+func Register(name, params string, b Builder) {
+	if name == "" {
+		panic("workload: Register with empty name")
+	}
+	if b == nil {
+		panic("workload: Register with nil builder: " + name)
+	}
+	if _, dup := registry.entries[name]; dup {
+		panic("workload: Register duplicate name: " + name)
+	}
+	registry.entries[name] = entry{name: name, params: params, builder: b}
+	registry.order = append(registry.order, name)
+}
+
+// Named builds the registered workload's generator for n cores with the
+// given seed. Unknown names and invalid construction parameters return
+// errors (the latter wrapping ErrBadParams), never panic.
+func Named(name string, n int, seed int64) (Generator, error) {
+	e, ok := registry.entries[name]
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown workload %q (have %v)", name, Names())
+	}
+	g, err := e.builder(n, seed)
+	if err != nil {
+		return nil, fmt.Errorf("workload: %s: %w", name, err)
+	}
+	return g, nil
+}
+
+// Known reports whether name is a registered workload.
+func Known(name string) bool {
+	_, ok := registry.entries[name]
+	return ok
+}
+
+// Names lists every registered workload in registration order: the
+// paper's five application mixes in figure order (jbb, oltp, apache,
+// barnes, ocean), the microbenchmark, then the sharing-pattern scenario
+// family (Scenarios).
+func Names() []string {
+	out := make([]string, len(registry.order))
+	copy(out, registry.order)
+	return out
+}
+
+// Describe returns the registered workload's one-line parameter
+// summary.
+func Describe(name string) (string, bool) {
+	e, ok := registry.entries[name]
+	return e.params, ok
+}
+
+// Scenarios lists the synthetic sharing-pattern scenario family — the
+// registered generators beyond the paper's application mixes and the
+// microbenchmark — in registration order.
+func Scenarios() []string {
+	paper := map[string]bool{"micro": true}
+	for _, n := range paperOrder {
+		paper[n] = true
+	}
+	var out []string
+	for _, n := range registry.order {
+		if !paper[n] {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// paperOrder is the paper's Figure 4/5 workload order.
+var paperOrder = []string{"jbb", "oltp", "apache", "barnes", "ocean"}
+
+// PaperWorkloads lists the paper's five application workloads in figure
+// order.
+func PaperWorkloads() []string {
+	out := make([]string, len(paperOrder))
+	copy(out, paperOrder)
+	return out
+}
+
+// init registers every built-in workload in canonical order. A single
+// init (rather than one per source file) pins the registration order
+// independent of file names.
+func init() {
+	// The paper's five application mixes, figure order.
+	for _, name := range paperOrder {
+		name := name
+		mix := paperMixes[name]
+		Register(name, mix.describe(), func(n int, seed int64) (Generator, error) {
+			m := mix
+			m.DomainCores = paperDomain(n)
+			return NewMix(m, n, seed)
+		})
+	}
+	// The §8.1 scalability microbenchmark.
+	Register("micro", "16K-block shared table, uniform random, 30% writes",
+		func(n int, seed int64) (Generator, error) { return NewMicro(n, seed) })
+
+	// The sharing-pattern scenario family (generators.go). Each entry
+	// stresses the protocols on one qualitative axis the paper's §8
+	// evaluation differentiates on.
+	Register("pipeline", DefaultPipeline().describe(), func(n int, seed int64) (Generator, error) {
+		return NewPipeline(DefaultPipeline(), n, seed)
+	})
+	Register("migratory", DefaultMigratory().describe(), func(n int, seed int64) (Generator, error) {
+		return NewMigratory(DefaultMigratory(), n, seed)
+	})
+	Register("convoy", DefaultConvoy().describe(), func(n int, seed int64) (Generator, error) {
+		return NewConvoy(DefaultConvoy(), n, seed)
+	})
+	Register("falseshare", DefaultFalseSharing().describe(), func(n int, seed int64) (Generator, error) {
+		return NewFalseSharing(DefaultFalseSharing(), n, seed)
+	})
+	Register("zipf", DefaultZipf().describe(), func(n int, seed int64) (Generator, error) {
+		return NewZipf(DefaultZipf(), n, seed)
+	})
+	Register("phased", DefaultPhased().describe(), func(n int, seed int64) (Generator, error) {
+		return NewPhased(DefaultPhased(), n, seed)
+	})
+}
+
+// paperDomain is the consolidation-domain size the paper's mixes run
+// with: four 16-core copies on 64 cores, shrinking to the system size
+// below 16 cores.
+func paperDomain(n int) int {
+	if n < 16 {
+		return n
+	}
+	return 16
+}

@@ -15,11 +15,20 @@
 package workload
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 
 	"patch/internal/msg"
 )
+
+// ErrBadParams reports generator construction parameters that cannot
+// produce a well-formed reference stream (a nonzero category fraction
+// with an empty working set, a fraction outside [0, 1], ...). Every
+// construction failure returned by NewMix and the scenario constructors
+// wraps this sentinel, so callers can classify with errors.Is instead
+// of recovering a rand.Intn(0) panic mid-sweep.
+var ErrBadParams = errors.New("invalid generator parameters")
 
 // Op is one memory reference by a core: the block address, the kind, and
 // the number of non-memory "think" cycles preceding it.
@@ -92,8 +101,81 @@ type mixGen struct {
 	streamPos    []int
 }
 
-// NewMix builds a generator for n cores with the given seed.
-func NewMix(mix Mix, n int, seed int64) Generator {
+// validate checks the mix can generate without panicking: every
+// reachable reference category must have a non-empty working set, and
+// every fraction must be a probability.
+func (m Mix) validate() error {
+	fracs := []struct {
+		name string
+		v    float64
+	}{
+		{"SharedReadFrac", m.SharedReadFrac},
+		{"MigratoryFrac", m.MigratoryFrac},
+		{"ProdConsFrac", m.ProdConsFrac},
+		{"StreamFrac", m.StreamFrac},
+		{"PrivateWriteFrac", m.PrivateWriteFrac},
+		{"SharedWriteFrac", m.SharedWriteFrac},
+	}
+	for _, f := range fracs {
+		if f.v < 0 || f.v > 1 {
+			return fmt.Errorf("%w: %s = %g outside [0, 1]", ErrBadParams, f.name, f.v)
+		}
+	}
+	sum := m.SharedReadFrac + m.MigratoryFrac + m.ProdConsFrac + m.StreamFrac
+	if sum > 1 {
+		return fmt.Errorf("%w: category fractions sum to %g > 1", ErrBadParams, sum)
+	}
+	// A nonzero fraction draws rand.Intn(blocks) on its first matching
+	// reference; an empty region would panic there.
+	regions := []struct {
+		name   string
+		frac   float64
+		blocks int
+	}{
+		{"SharedBlocks", m.SharedReadFrac, m.SharedBlocks},
+		{"MigratoryBlocks", m.MigratoryFrac, m.MigratoryBlocks},
+		{"ProdConsBlocks", m.ProdConsFrac, m.ProdConsBlocks},
+	}
+	for _, r := range regions {
+		if r.blocks < 0 {
+			return fmt.Errorf("%w: %s = %d is negative", ErrBadParams, r.name, r.blocks)
+		}
+		if r.frac > 0 && r.blocks == 0 {
+			return fmt.Errorf("%w: fraction %g with %s = 0", ErrBadParams, r.frac, r.name)
+		}
+	}
+	if m.PrivateBlocks < 0 {
+		return fmt.Errorf("%w: PrivateBlocks = %d is negative", ErrBadParams, m.PrivateBlocks)
+	}
+	// Float64 < 1, so the private remainder is reachable whenever the
+	// category fractions leave any probability mass.
+	if sum < 1 && m.PrivateBlocks == 0 {
+		return fmt.Errorf("%w: private fraction %g with PrivateBlocks = 0", ErrBadParams, 1-sum)
+	}
+	if m.ThinkMean < 0 {
+		return fmt.Errorf("%w: ThinkMean = %d is negative", ErrBadParams, m.ThinkMean)
+	}
+	return nil
+}
+
+// describe renders the mix's one-line registry parameter summary.
+func (m Mix) describe() string {
+	return fmt.Sprintf("mix: shared %.0f%%, migratory %.0f%%, prod-cons %.0f%%, stream %.0f%% (blocks %d/%d/%d/%d, think %d)",
+		100*m.SharedReadFrac, 100*m.MigratoryFrac, 100*m.ProdConsFrac, 100*m.StreamFrac,
+		m.SharedBlocks, m.MigratoryBlocks, m.ProdConsBlocks, m.PrivateBlocks, m.ThinkMean)
+}
+
+// NewMix builds a generator for n cores with the given seed. Invalid
+// parameters — a nonzero category fraction over an empty region, a
+// fraction outside [0, 1] — return an error wrapping ErrBadParams
+// rather than panicking on the first matching reference.
+func NewMix(mix Mix, n int, seed int64) (Generator, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("%w: core count %d", ErrBadParams, n)
+	}
+	if err := mix.validate(); err != nil {
+		return nil, err
+	}
 	g := &mixGen{mix: mix, cores: n}
 	g.rngs = make([]*rand.Rand, n)
 	g.pendingWrite = make([]msg.Addr, n)
@@ -104,7 +186,7 @@ func NewMix(mix Mix, n int, seed int64) Generator {
 	if mix.DomainCores <= 0 {
 		g.mix.DomainCores = n
 	}
-	return g
+	return g, nil
 }
 
 func (g *mixGen) Name() string { return g.mix.Label }
@@ -173,13 +255,16 @@ type Micro struct {
 }
 
 // NewMicro builds the microbenchmark for n cores.
-func NewMicro(n int, seed int64) Generator {
+func NewMicro(n int, seed int64) (Generator, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("%w: core count %d", ErrBadParams, n)
+	}
 	g := &Micro{blocks: 16 * 1024, think: 4}
 	g.rngs = make([]*rand.Rand, n)
 	for i := range g.rngs {
 		g.rngs[i] = rand.New(rand.NewSource(seed*31337 + int64(i)*7 + 1))
 	}
-	return g
+	return g, nil
 }
 
 func (g *Micro) Name() string { return "micro" }
@@ -194,74 +279,57 @@ func (g *Micro) Next(core int) Op {
 	}
 }
 
-// Named returns the synthetic mix for one of the paper's five workloads.
-// The parameters encode each application's qualitative sharing character
-// (see the package comment); n is the core count and seed the random
-// seed.
-func Named(name string, n int, seed int64) (Generator, error) {
-	dom := 16
-	if n < 16 {
-		dom = n
-	}
-	mixes := map[string]Mix{
-		// barnes: N-body tree with migratory body updates and moderate
-		// read sharing of tree cells.
-		"barnes": {
-			Label: "barnes", DomainCores: dom,
-			SharedReadFrac: 0.22, MigratoryFrac: 0.10, ProdConsFrac: 0.03, StreamFrac: 0.02,
-			PrivateWriteFrac: 0.30, SharedWriteFrac: 0.04,
-			PrivateBlocks: 2 << 10, SharedBlocks: 1 << 10, MigratoryBlocks: 256, ProdConsBlocks: 32,
-			ThinkMean: 6,
-		},
-		// ocean: grid solver — mostly private with nearest-neighbour
-		// boundary exchange and heavy streaming (high capacity-miss
-		// rate, the paper's most bandwidth-hungry workload).
-		"ocean": {
-			Label: "ocean", DomainCores: dom,
-			SharedReadFrac: 0.04, MigratoryFrac: 0.01, ProdConsFrac: 0.12, StreamFrac: 0.22,
-			PrivateWriteFrac: 0.35, SharedWriteFrac: 0.05,
-			PrivateBlocks: 3 << 10, SharedBlocks: 512, MigratoryBlocks: 64, ProdConsBlocks: 64,
-			ThinkMean: 4,
-		},
-		// oltp: transaction processing — lock-dominated migratory
-		// sharing and substantial read sharing; the paper's biggest
-		// beneficiary of direct requests.
-		"oltp": {
-			Label: "oltp", DomainCores: dom,
-			SharedReadFrac: 0.28, MigratoryFrac: 0.22, ProdConsFrac: 0.04, StreamFrac: 0.03,
-			PrivateWriteFrac: 0.25, SharedWriteFrac: 0.06,
-			PrivateBlocks: 1536, SharedBlocks: 1536, MigratoryBlocks: 512, ProdConsBlocks: 32,
-			ThinkMean: 8,
-		},
-		// apache: static web serving — wide read sharing of file/cache
-		// structures with some migratory metadata.
-		"apache": {
-			Label: "apache", DomainCores: dom,
-			SharedReadFrac: 0.34, MigratoryFrac: 0.14, ProdConsFrac: 0.03, StreamFrac: 0.04,
-			PrivateWriteFrac: 0.25, SharedWriteFrac: 0.05,
-			PrivateBlocks: 1792, SharedBlocks: 1536, MigratoryBlocks: 384, ProdConsBlocks: 32,
-			ThinkMean: 7,
-		},
-		// jbb: Java middleware — more private than oltp/apache with
-		// moderate object sharing.
-		"jbb": {
-			Label: "jbb", DomainCores: dom,
-			SharedReadFrac: 0.18, MigratoryFrac: 0.12, ProdConsFrac: 0.03, StreamFrac: 0.05,
-			PrivateWriteFrac: 0.30, SharedWriteFrac: 0.05,
-			PrivateBlocks: 2 << 10, SharedBlocks: 1 << 10, MigratoryBlocks: 384, ProdConsBlocks: 32,
-			ThinkMean: 7,
-		},
-	}
-	if name == "micro" {
-		return NewMicro(n, seed), nil
-	}
-	m, ok := mixes[name]
-	if !ok {
-		return nil, fmt.Errorf("workload: unknown workload %q", name)
-	}
-	return NewMix(m, n, seed), nil
+// paperMixes encodes each of the paper's five applications' qualitative
+// sharing character (see the package comment). The registry binds each
+// to its name with the paper's 16-core consolidation domains
+// (paperDomain); DomainCores here is a placeholder overridden at build
+// time.
+var paperMixes = map[string]Mix{
+	// barnes: N-body tree with migratory body updates and moderate
+	// read sharing of tree cells.
+	"barnes": {
+		Label:          "barnes",
+		SharedReadFrac: 0.22, MigratoryFrac: 0.10, ProdConsFrac: 0.03, StreamFrac: 0.02,
+		PrivateWriteFrac: 0.30, SharedWriteFrac: 0.04,
+		PrivateBlocks: 2 << 10, SharedBlocks: 1 << 10, MigratoryBlocks: 256, ProdConsBlocks: 32,
+		ThinkMean: 6,
+	},
+	// ocean: grid solver — mostly private with nearest-neighbour
+	// boundary exchange and heavy streaming (high capacity-miss
+	// rate, the paper's most bandwidth-hungry workload).
+	"ocean": {
+		Label:          "ocean",
+		SharedReadFrac: 0.04, MigratoryFrac: 0.01, ProdConsFrac: 0.12, StreamFrac: 0.22,
+		PrivateWriteFrac: 0.35, SharedWriteFrac: 0.05,
+		PrivateBlocks: 3 << 10, SharedBlocks: 512, MigratoryBlocks: 64, ProdConsBlocks: 64,
+		ThinkMean: 4,
+	},
+	// oltp: transaction processing — lock-dominated migratory
+	// sharing and substantial read sharing; the paper's biggest
+	// beneficiary of direct requests.
+	"oltp": {
+		Label:          "oltp",
+		SharedReadFrac: 0.28, MigratoryFrac: 0.22, ProdConsFrac: 0.04, StreamFrac: 0.03,
+		PrivateWriteFrac: 0.25, SharedWriteFrac: 0.06,
+		PrivateBlocks: 1536, SharedBlocks: 1536, MigratoryBlocks: 512, ProdConsBlocks: 32,
+		ThinkMean: 8,
+	},
+	// apache: static web serving — wide read sharing of file/cache
+	// structures with some migratory metadata.
+	"apache": {
+		Label:          "apache",
+		SharedReadFrac: 0.34, MigratoryFrac: 0.14, ProdConsFrac: 0.03, StreamFrac: 0.04,
+		PrivateWriteFrac: 0.25, SharedWriteFrac: 0.05,
+		PrivateBlocks: 1792, SharedBlocks: 1536, MigratoryBlocks: 384, ProdConsBlocks: 32,
+		ThinkMean: 7,
+	},
+	// jbb: Java middleware — more private than oltp/apache with
+	// moderate object sharing.
+	"jbb": {
+		Label:          "jbb",
+		SharedReadFrac: 0.18, MigratoryFrac: 0.12, ProdConsFrac: 0.03, StreamFrac: 0.05,
+		PrivateWriteFrac: 0.30, SharedWriteFrac: 0.05,
+		PrivateBlocks: 2 << 10, SharedBlocks: 1 << 10, MigratoryBlocks: 384, ProdConsBlocks: 32,
+		ThinkMean: 7,
+	},
 }
-
-// Names lists the named application workloads in the paper's figure
-// order.
-func Names() []string { return []string{"jbb", "oltp", "apache", "barnes", "ocean"} }

@@ -7,7 +7,7 @@ import (
 )
 
 func TestNamedKnownWorkloads(t *testing.T) {
-	for _, name := range append(Names(), "micro") {
+	for _, name := range Names() {
 		g, err := Named(name, 64, 1)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
@@ -43,7 +43,7 @@ func TestDeterministicForSeed(t *testing.T) {
 }
 
 func TestAddressesBlockAligned(t *testing.T) {
-	for _, name := range append(Names(), "micro") {
+	for _, name := range Names() {
 		g, _ := Named(name, 16, 7)
 		for i := 0; i < 2000; i++ {
 			op := g.Next(i % 16)
@@ -58,7 +58,10 @@ func TestAddressesBlockAligned(t *testing.T) {
 }
 
 func TestMicroWriteFraction(t *testing.T) {
-	g := NewMicro(4, 1)
+	g, err := NewMicro(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	writes, n := 0, 20000
 	for i := 0; i < n; i++ {
 		if g.Next(i % 4).Write {
@@ -72,7 +75,10 @@ func TestMicroWriteFraction(t *testing.T) {
 }
 
 func TestMicroTableSize(t *testing.T) {
-	g := NewMicro(4, 1)
+	g, err := NewMicro(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	seen := map[msg.Addr]bool{}
 	for i := 0; i < 200000; i++ {
 		seen[g.Next(i%4).Addr] = true

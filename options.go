@@ -51,8 +51,8 @@ func WithVariant(v Variant) Option { return func(c *Config) { c.Variant = v } }
 // torus).
 func WithCores(n int) Option { return func(c *Config) { c.Cores = n } }
 
-// WithWorkload selects a built-in workload generator (see Workloads,
-// plus "micro").
+// WithWorkload selects a registered workload generator (see
+// AllWorkloads: the paper mixes, "micro", and the scenario family).
 func WithWorkload(name string) Option { return func(c *Config) { c.Workload = name } }
 
 // WithTraceFile replays a recorded reference trace instead of a named

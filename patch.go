@@ -49,6 +49,7 @@ import (
 	"patch/internal/predictor"
 	"patch/internal/sim"
 	"patch/internal/stats"
+	"patch/internal/workload"
 )
 
 // Protocol selects the coherence protocol.
@@ -108,9 +109,12 @@ type Config struct {
 	Variant  Variant  `json:"variant,omitempty"` // PATCH only
 
 	Cores int `json:"cores,omitempty"`
-	// Workload names a built-in generator ("jbb", "oltp", "apache",
-	// "barnes", "ocean", "micro"); TraceFile, when set, replays a
-	// recorded reference trace instead.
+	// Workload names a registered generator: one of the paper's
+	// application mixes ("jbb", "oltp", "apache", "barnes", "ocean"),
+	// the §8.1 microbenchmark ("micro"), or a sharing-pattern scenario
+	// ("pipeline", "migratory", "convoy", "falseshare", "zipf",
+	// "phased") — AllWorkloads lists them all. TraceFile, when set,
+	// replays a recorded reference trace instead.
 	//
 	// The trace may be in either recorded format — the line-oriented
 	// text format (patchsim -record) or the compact binary format
@@ -294,7 +298,28 @@ func RunSeedsContext(ctx context.Context, cfg Config, n int, opts ...SweepOption
 // Workloads lists the named application workloads in the paper's figure
 // order (jbb, oltp, apache, barnes, ocean).
 func Workloads() []string {
-	return []string{"jbb", "oltp", "apache", "barnes", "ocean"}
+	return workload.PaperWorkloads()
+}
+
+// ScenarioWorkloads lists the synthetic sharing-pattern scenario
+// generators (pipeline, migratory, convoy, falseshare, zipf, phased) —
+// each isolates one sharing behaviour the paper's §8 evaluation
+// differentiates the protocols on, and each is a first-class Matrix
+// axis value.
+func ScenarioWorkloads() []string {
+	return workload.Scenarios()
+}
+
+// AllWorkloads lists every registered workload generator: the paper's
+// five application mixes, the microbenchmark, and the scenario family.
+func AllWorkloads() []string {
+	return workload.Names()
+}
+
+// DescribeWorkload returns a registered workload's one-line parameter
+// summary and whether the name is known.
+func DescribeWorkload(name string) (string, bool) {
+	return workload.Describe(name)
 }
 
 // Variants lists the PATCH variants in the paper's Figure 4/5 order.

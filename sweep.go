@@ -601,6 +601,13 @@ func (w *sweepWorker) RunReplica(cfg Config) (*Result, error) {
 	}
 	r, err := sys.Run()
 	if err != nil {
+		// The fresh-built System was never adopted into w.sys, so the
+		// reuse branch's failure handling above cannot release it —
+		// Close here or its trace replay (fd on the pread path, mapping
+		// on the mmap path) leaks with the abandoned arena. Close is
+		// idempotent, so this is safe even though a failed Run has
+		// already released the replay on its own error path.
+		sys.Close()
 		return nil, err
 	}
 	w.sys = sys

@@ -1,0 +1,165 @@
+package patch
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+
+	"patch/internal/workload"
+)
+
+// writeBinaryTrace records a small binary trace for cores cores and
+// returns its path. Binary matters: StreamReplay holds an open file (or
+// mapping) until closed, which is exactly the resource the arena-leak
+// regression below watches.
+func writeBinaryTrace(t *testing.T, cores, ops int) string {
+	t.Helper()
+	g, err := workload.Named("micro", cores, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "arena.trace")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := workload.RecordBinary(f, g, cores, ops); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// openFDsFor counts /proc/self/fd entries resolving to path.
+func openFDsFor(t *testing.T, path string) int {
+	t.Helper()
+	ents, err := os.ReadDir("/proc/self/fd")
+	if err != nil {
+		t.Fatalf("reading /proc/self/fd: %v", err)
+	}
+	n := 0
+	for _, e := range ents {
+		target, err := os.Readlink(filepath.Join("/proc/self/fd", e.Name()))
+		if err != nil {
+			continue // the dirfd itself, or a raced-away fd
+		}
+		if target == path {
+			n++
+		}
+	}
+	return n
+}
+
+// mappingsFor counts /proc/self/maps lines naming path (the mmap-backed
+// replay path keeps a mapping rather than a long-lived fd).
+func mappingsFor(t *testing.T, path string) int {
+	t.Helper()
+	data, err := os.ReadFile("/proc/self/maps")
+	if err != nil {
+		t.Fatalf("reading /proc/self/maps: %v", err)
+	}
+	n := 0
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.HasSuffix(line, path) {
+			n++
+		}
+	}
+	return n
+}
+
+// TestRunReplicaFailedFreshRunReleasesReplica: when a fresh-built
+// System's first Run fails, sweepWorker.RunReplica must release the
+// simulation arena — in particular the open trace replay (fd on the
+// pread path, mapping on the mmap path) — rather than dropping the
+// System unreleased. The Reset-reuse branch already closes on failure;
+// this pins the fresh-build branch to the same contract.
+func TestRunReplicaFailedFreshRunReleasesReplica(t *testing.T) {
+	if runtime.GOOS != "linux" {
+		t.Skip("needs /proc/self/{fd,maps}")
+	}
+	path := writeBinaryTrace(t, 4, 64)
+
+	w := &sweepWorker{}
+	defer w.Close()
+	cfg := Config{
+		Protocol: Directory, Cores: 4, TraceFile: path,
+		OpsPerCore: 32, WarmupOps: -1,
+		MaxCycles: 1, // liveness watchdog fires on the first event chunk
+	}
+	res, err := w.RunReplica(cfg)
+	if err == nil {
+		t.Fatalf("RunReplica succeeded (cycles=%d) with a 1-cycle watchdog; want failure", res.Cycles)
+	}
+	if w.sys != nil {
+		t.Fatal("failed fresh Run left a System adopted in the worker")
+	}
+	if n := openFDsFor(t, path); n != 0 {
+		t.Errorf("failed fresh Run leaked %d open fd(s) to the trace replay", n)
+	}
+	if n := mappingsFor(t, path); n != 0 {
+		t.Errorf("failed fresh Run leaked %d mapping(s) of the trace replay", n)
+	}
+}
+
+// TestRunReplicaFailedResetRunReleasesReplica: same contract on the
+// reuse branch — a successful replica adopts the System, and a
+// subsequent failed Run on the Reset system must release everything.
+func TestRunReplicaFailedResetRunReleasesReplica(t *testing.T) {
+	if runtime.GOOS != "linux" {
+		t.Skip("needs /proc/self/{fd,maps}")
+	}
+	path := writeBinaryTrace(t, 4, 64)
+
+	w := &sweepWorker{}
+	defer w.Close()
+	ok := Config{Protocol: Directory, Cores: 4, TraceFile: path, OpsPerCore: 32, WarmupOps: -1, SkipChecks: true}
+	if _, err := w.RunReplica(ok); err != nil {
+		t.Fatalf("priming replica failed: %v", err)
+	}
+	if w.sys == nil {
+		t.Fatal("successful replica did not adopt the System for reuse")
+	}
+	bad := ok
+	bad.MaxCycles = 1
+	if _, err := w.RunReplica(bad); err == nil {
+		t.Fatal("RunReplica succeeded with a 1-cycle watchdog; want failure")
+	}
+	if w.sys != nil {
+		t.Fatal("failed reused Run left the System adopted in the worker")
+	}
+	if n := openFDsFor(t, path); n != 0 {
+		t.Errorf("failed reused Run leaked %d open fd(s) to the trace replay", n)
+	}
+	if n := mappingsFor(t, path); n != 0 {
+		t.Errorf("failed reused Run leaked %d mapping(s) of the trace replay", n)
+	}
+}
+
+// TestRunReplicaTraceReplayReleasedOnSuccess: the happy path must also
+// end with the replay released once the worker closes — a sweep over
+// thousands of trace replicas would otherwise exhaust fds.
+func TestRunReplicaTraceReplayReleasedOnSuccess(t *testing.T) {
+	if runtime.GOOS != "linux" {
+		t.Skip("needs /proc/self/{fd,maps}")
+	}
+	path := writeBinaryTrace(t, 4, 64)
+
+	w := &sweepWorker{}
+	cfg := Config{Protocol: Directory, Cores: 4, TraceFile: path, OpsPerCore: 32, WarmupOps: -1, SkipChecks: true}
+	for i := 0; i < 3; i++ {
+		if _, err := w.RunReplica(cfg); err != nil {
+			t.Fatalf("replica %d: %v", i, err)
+		}
+	}
+	w.Close()
+	if n := openFDsFor(t, path); n != 0 {
+		t.Errorf("closed worker left %d open fd(s) to the trace replay", n)
+	}
+	if n := mappingsFor(t, path); n != 0 {
+		t.Errorf("closed worker left %d mapping(s) of the trace replay", n)
+	}
+}

@@ -72,8 +72,8 @@ func (c Config) Validate() error {
 	if cores < 1 || cores > 1024 || cores&(cores-1) != 0 {
 		return fmt.Errorf("patch: %w: got %d", ErrBadCores, c.Cores)
 	}
-	if c.TraceFile == "" && c.Workload != "" && !knownWorkload(c.Workload) {
-		return fmt.Errorf("patch: %w: %q (have %v and \"micro\")", ErrUnknownWorkload, c.Workload, workload.Names())
+	if c.TraceFile == "" && c.Workload != "" && !workload.Known(c.Workload) {
+		return fmt.Errorf("patch: %w: %q (have %v)", ErrUnknownWorkload, c.Workload, workload.Names())
 	}
 	if c.TraceFile != "" {
 		// The one stat-call exception to "no building": a missing trace
@@ -110,16 +110,4 @@ func (c Config) Validate() error {
 		return fmt.Errorf("patch: %w: got %g", ErrBadTenureFactor, c.TenureTimeoutFactor)
 	}
 	return nil
-}
-
-func knownWorkload(name string) bool {
-	if name == "micro" {
-		return true
-	}
-	for _, n := range workload.Names() {
-		if n == name {
-			return true
-		}
-	}
-	return false
 }
