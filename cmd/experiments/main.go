@@ -12,6 +12,7 @@
 //	experiments -exp fig8           # scalability 4..512 cores
 //	experiments -exp fig9           # inexact encodings (fig10 included)
 //	experiments -exp scen           # sharing-pattern scenario figure
+//	experiments -exp faults         # fault-injection robustness figure
 //	experiments -quick              # shrunken smoke-test scale
 //	experiments -workers 8          # bound the sweep worker pool
 //	experiments -progress           # live run counter on stderr
@@ -28,7 +29,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig4, fig5, fig6, fig7, fig8, fig9, fig10, scen")
+	exp := flag.String("exp", "all", "experiment: all, fig4, fig5, fig6, fig7, fig8, fig9, fig10, scen, faults")
 	quick := flag.Bool("quick", false, "shrunken scale for smoke testing")
 	cores := flag.Int("cores", 0, "override core count for fig4-7")
 	ops := flag.Int("ops", 0, "override measured ops/core")
@@ -106,6 +107,10 @@ func main() {
 	})
 	run("scen", func() error {
 		_, err := experiments.ScenarioSweep(os.Stdout, sc)
+		return err
+	})
+	run("faults", func() error {
+		_, err := experiments.FaultSweep(os.Stdout, sc)
 		return err
 	})
 	fmt.Printf("total: %v\n", time.Since(start).Round(time.Millisecond))

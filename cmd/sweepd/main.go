@@ -17,6 +17,9 @@
 //	    worker: join a farm, claim replica ranges over the same HTTP
 //	    API, simulate them on a reusable arena, post results back, and
 //	    heartbeat in-flight claims so leases only cull dead workers.
+//	    Transient farm failures — a server restart, a 5xx, throttling —
+//	    are retried with jittered exponential backoff (-retries,
+//	    -retry-base) instead of shedding the worker.
 //
 //	sweepd -local -matrix m.json
 //	    local: run the same JSON matrix in-process and print emitter
@@ -72,6 +75,8 @@ func main() {
 	workerURL := flag.String("worker", "", "worker mode: farm base URL to join (e.g. http://host:8080)")
 	batch := flag.Int("batch", 4, "worker mode: replicas claimed per round trip")
 	oneShot := flag.Bool("one-shot", false, "worker mode: exit at the first empty claim instead of polling")
+	retries := flag.Int("retries", 0, "worker mode: attempts per server call under transient failure before exiting (0: default of 6)")
+	retryBase := flag.Duration("retry-base", 0, "worker mode: backoff before the first retry, doubling with jitter (0: default of 250ms)")
 
 	local := flag.Bool("local", false, "local mode: run -matrix in-process and print to stdout")
 	matrixFile := flag.String("matrix", "", "local mode: matrix JSON file (\"-\": stdin)")
@@ -87,7 +92,7 @@ func main() {
 	case *local:
 		err = runLocal(ctx, *matrixFile, *format, sc.workers)
 	case *workerURL != "":
-		err = runWorkerMode(ctx, *workerURL, *token, *batch, *oneShot)
+		err = runWorkerMode(ctx, *workerURL, *token, *batch, *oneShot, *retries, *retryBase)
 	default:
 		err = serve(ctx, sc)
 	}
@@ -160,12 +165,14 @@ func cacheOrMem(dir string) string {
 	return dir
 }
 
-func runWorkerMode(ctx context.Context, base, token string, batch int, oneShot bool) error {
+func runWorkerMode(ctx context.Context, base, token string, batch int, oneShot bool, retries int, retryBase time.Duration) error {
 	client := &service.Client{Base: base, Token: token}
 	return service.RunWorker(ctx, client, service.WorkerConfig{
-		Batch:   batch,
-		OneShot: oneShot,
-		Log:     log.Printf,
+		Batch:     batch,
+		OneShot:   oneShot,
+		Retries:   retries,
+		RetryBase: retryBase,
+		Log:       log.Printf,
 	})
 }
 

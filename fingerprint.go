@@ -89,6 +89,27 @@ func (c Config) Fingerprint() string {
 	fmt.Fprintf(&b, "tenure_timeout_factor=%g\n", tenure)
 	fmt.Fprintf(&b, "no_deact_window=%t\n", c.NoDeactWindow)
 	fmt.Fprintf(&b, "max_cycles=%d\n", c.MaxCycles)
+	// Fault lines are appended only for a plan that actually injects
+	// something, so every fault-free spelling (nil plan, zero plan,
+	// seed-only plan, dead windows) keeps the pre-fault golden hash and
+	// shares cache entries with unfaulted configs.
+	if fp := c.FaultPlan.toPlan(); fp != nil {
+		fmt.Fprintf(&b, "fault_seed=%d\n", fp.Seed)
+		fmt.Fprintf(&b, "fault_hop_jitter=%d\n", fp.HopJitter)
+		for _, w := range fp.Degrade {
+			if w.Multiplier <= 1 || w.To < w.From {
+				continue // dead window: injects nothing
+			}
+			frac := w.LinkFraction
+			if frac == 1 {
+				frac = 0 // 0 and 1 both mean "all links"
+			}
+			fmt.Fprintf(&b, "fault_degrade=%d:%d:%d:%g\n", w.From, w.To, w.Multiplier, frac)
+		}
+		if bu := fp.Burst; bu.Period > 0 && bu.Duration > 0 && bu.Extra > 0 {
+			fmt.Fprintf(&b, "fault_burst=%d:%d:%d\n", bu.Period, bu.Duration, bu.Extra)
+		}
+	}
 	sum := sha256.Sum256([]byte(b.String()))
 	return hex.EncodeToString(sum[:])
 }

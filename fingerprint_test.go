@@ -60,6 +60,7 @@ func TestFingerprintDistinguishesAxes(t *testing.T) {
 		"tenure":     func(c *Config) { c.TenureTimeoutFactor = 4 },
 		"deact":      func(c *Config) { c.NoDeactWindow = true },
 		"max_cycles": func(c *Config) { c.MaxCycles = 1000 },
+		"fault":      func(c *Config) { c.FaultPlan = &FaultPlan{Seed: 1, HopJitter: 2} },
 	}
 	base := fpBase().Fingerprint()
 	seen := map[string]string{"": base}

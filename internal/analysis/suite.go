@@ -19,6 +19,7 @@ const (
 	pkgInternalTree = "patch/internal/..."
 	pkgExperiments  = "patch/internal/experiments"
 	pkgLitmus       = "patch/internal/litmus"
+	pkgFault        = "patch/internal/fault"
 )
 
 // PatchSuite returns the analyzers configured for this repository's
@@ -32,6 +33,9 @@ func PatchSuite() []*Analyzer {
 					// Reporting/aggregation paths: map-range order here
 					// reaches figure output and axiom error selection.
 					pkgExperiments, pkgLitmus,
+					// Fault injection must be exactly as deterministic as
+					// the engine it perturbs.
+					pkgFault,
 				},
 				Files: map[string][]string{
 					// Of the root package, only the sweep engine feeds

@@ -16,6 +16,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"patch/internal/cache"
 	"patch/internal/directory"
@@ -185,6 +186,21 @@ func (n *Node) Predictor() *predictor.Predictor { return n.pred }
 
 // Cache exposes the L2 for token-conservation checks.
 func (n *Node) Cache() *cache.Cache { return n.L2 }
+
+// AppendMSHRDiags appends one record per outstanding miss, sorted by
+// address, for the simulator's failure diagnostics.
+func (n *Node) AppendMSHRDiags(dst []protocol.MSHRDiag) []protocol.MSHRDiag {
+	addrs := make([]msg.Addr, 0, len(n.mshrs))
+	for a := range n.mshrs {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for _, a := range addrs {
+		m := n.mshrs[a]
+		dst = append(dst, protocol.MSHRDiag{Node: n.ID, Addr: a, Issued: m.issued, Write: m.isWrite})
+	}
+	return dst
+}
 
 // Quiesced implements protocol.Node.
 func (n *Node) Quiesced() bool {

@@ -268,6 +268,55 @@ type InexactRow struct {
 	AckShare, FwdShare float64 // fraction of traffic
 }
 
+// FaultSweep is the fault-injection figure: microbenchmark runtime
+// under increasing per-hop delay jitter for Directory, PATCH-All and
+// TokenB, each column normalised to that protocol's own fault-free
+// runtime. It asks the robustness question the paper's evaluation
+// leaves implicit: how gracefully does each protocol's timing degrade
+// when the interconnect misbehaves — directory indirection amortises
+// jitter over fewer messages, while broadcast-heavy TokenB crosses
+// jittered links far more often.
+func FaultSweep(w io.Writer, sc Scale) (map[int][3]float64, error) {
+	jitters := []int{0, 2, 4, 8}
+	faults := make([]*patch.FaultPlan, len(jitters))
+	for i, j := range jitters {
+		if j > 0 {
+			faults[i] = &patch.FaultPlan{Seed: 1, HopJitter: j}
+		}
+	}
+	base := sc.base()
+	base.Workload = "micro"
+	m := patch.Matrix{
+		Base:   base,
+		Faults: faults,
+		Protocols: []patch.ProtoVariant{
+			{Protocol: patch.Directory, Label: "Directory"},
+			{Protocol: patch.PATCH, Variant: patch.VariantAll, Label: "PATCH-All"},
+			{Protocol: patch.TokenB, Label: "TokenB"},
+		},
+		Seeds: sc.Seeds,
+	}
+	res, err := sc.sweep(m)
+	if err != nil {
+		return nil, err
+	}
+	cols := len(m.Protocols)
+	baseline := res.Cells[0:cols] // jitter 0: each protocol's fault-free run
+	out := make(map[int][3]float64)
+	fmt.Fprintf(w, "== Fault injection (runtime vs hop jitter, microbenchmark, %d cores) ==\n", sc.Cores)
+	fmt.Fprintf(w, "  %-8s %-11s %-11s %-8s %s\n", "jitter", "Directory", "PATCH-All", "TokenB", "(runtime normalized to own fault-free run)")
+	for i, j := range jitters {
+		group := res.Cells[i*cols : (i+1)*cols]
+		var row [3]float64
+		for c := 0; c < cols; c++ {
+			row[c] = stats.Ratio(group[c].Summary.Runtime.Mean, baseline[c].Summary.Runtime.Mean)
+		}
+		out[j] = row
+		fmt.Fprintf(w, "  %-8d %-11.3f %-11.3f %-8.3f\n", j, row[0], row[1], row[2])
+	}
+	return out, nil
+}
+
 // InexactEncodings reproduces Figures 9 and 10: runtime and traffic of
 // DIRECTORY vs PATCH as the sharer encoding coarsens, at several system
 // sizes, with bounded (2 B/cycle) and unbounded links.

@@ -80,6 +80,38 @@ func TestScenarioSweepQuick(t *testing.T) {
 	}
 }
 
+func TestFaultSweepQuick(t *testing.T) {
+	var buf bytes.Buffer
+	rows, err := FaultSweep(&buf, quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d jitter points, want 4", len(rows))
+	}
+	for c, v := range rows[0] {
+		if v != 1.0 {
+			t.Fatalf("jitter-0 column %d not normalised to itself: %v", c, v)
+		}
+	}
+	for j, r := range rows {
+		if j == 0 {
+			continue
+		}
+		for c, v := range r {
+			if v <= 1.0 {
+				t.Fatalf("jitter %d column %d: runtime ratio %v, want > 1 (injected delay must cost cycles)", j, c, v)
+			}
+		}
+	}
+	out := buf.String()
+	for _, want := range []string{"Fault injection", "Directory", "PATCH-All", "TokenB"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q", want)
+		}
+	}
+}
+
 func TestScalabilityQuick(t *testing.T) {
 	var buf bytes.Buffer
 	rows, err := Scalability(&buf, quick())

@@ -1,0 +1,193 @@
+// Package fault injects deterministic adversarial behavior into the
+// interconnect: per-link delay jitter (which reorders messages between
+// links), transient link-degradation windows, and periodic congestion
+// bursts. The paper's robustness claim is that token counting plus
+// tenure timeouts stay correct and live on unordered, misbehaving
+// networks; this package is how the simulator misbehaves on purpose.
+//
+// Everything is a pure function of the plan seed and the traversal
+// arguments. Each link owns an independent splitmix64-style stream
+// keyed by (plan seed, link index, per-link draw counter), so the
+// jitter a link hands out depends only on how many messages crossed
+// that link, never on global delivery order. That keeps faulted runs
+// byte-identical across sweep worker counts and across Reset-reused
+// versus freshly built systems.
+package fault
+
+// Plan describes a deterministic schedule of interconnect faults. The
+// zero value injects nothing (see Enabled).
+type Plan struct {
+	// Seed keys every fault stream. It is deliberately separate from
+	// the workload seed: two configs that differ only in workload seed
+	// share identical fault weather, so paired comparisons isolate the
+	// workload axis.
+	Seed int64
+	// HopJitter adds a per-message extra delay drawn uniformly from
+	// [0, HopJitter] cycles on every link crossing.
+	HopJitter int
+	// Degrade lists cycle windows during which affected links run with
+	// their hop latency multiplied.
+	Degrade []Window
+	// Burst models periodic congestion: for Duration cycles out of
+	// every Period, every link charges Extra additional cycles. Link
+	// phases are staggered by the seed so bursts do not align across
+	// the machine.
+	Burst Burst
+}
+
+// Window is a transient link-degradation interval: from cycle From to
+// cycle To inclusive, each affected link's hop latency is multiplied by
+// Multiplier. LinkFraction selects the deterministic subset of links
+// affected (0 and 1 both mean every link).
+type Window struct {
+	From, To     uint64
+	Multiplier   int
+	LinkFraction float64
+}
+
+// Burst is a periodic congestion model: Extra cycles are added to every
+// hop during the first Duration cycles of every Period-cycle interval.
+// A zero Period, Duration, or Extra disables the burst.
+type Burst struct {
+	Period   uint64
+	Duration uint64
+	Extra    int
+}
+
+func (b Burst) enabled() bool { return b.Period > 0 && b.Duration > 0 && b.Extra > 0 }
+
+// Enabled reports whether the plan injects anything at all. A nil or
+// zero plan is a strict no-op: the interconnect does not even build an
+// Injector for it, so fault-free configs keep their golden outputs.
+func (p *Plan) Enabled() bool {
+	if p == nil {
+		return false
+	}
+	if p.HopJitter > 0 {
+		return true
+	}
+	for _, w := range p.Degrade {
+		if w.Multiplier > 1 && w.To >= w.From {
+			return true
+		}
+	}
+	return p.Burst.enabled()
+}
+
+// mix64 is the splitmix64 output permutation: a cheap, well-distributed
+// bijection on 64-bit words used to derive per-link salts and to step
+// the per-link jitter streams.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Injector evaluates a Plan over a dense link-index space. All state is
+// per-link, so Delay for one link is independent of traffic on every
+// other link. The zero Injector is not usable; construct with New.
+type Injector struct {
+	plan Plan
+
+	salt  []uint64 // per-link stream key
+	ctr   []uint64 // per-link draw counter (jitter stream position)
+	phase []uint64 // per-link burst phase offset in [0, Period)
+	// affected[w] is a bitset over link indices selected by window w's
+	// LinkFraction.
+	affected [][]uint64
+}
+
+// New builds an injector for plan over numLinks dense link indices.
+// The caller is expected to have validated the plan (patch.Validate);
+// New itself only normalises degenerate windows away.
+func New(plan Plan, numLinks int) *Injector {
+	inj := &Injector{}
+	inj.Reset(plan, numLinks)
+	return inj
+}
+
+// Reset re-keys the injector in place for a reused network, restoring
+// the exact state New would produce: draw counters rewind to zero so a
+// Reset system replays identical fault weather.
+func (inj *Injector) Reset(plan Plan, numLinks int) {
+	inj.plan = plan
+	inj.plan.Degrade = normalizeWindows(plan.Degrade)
+	if cap(inj.salt) < numLinks {
+		inj.salt = make([]uint64, numLinks)
+		inj.ctr = make([]uint64, numLinks)
+		inj.phase = make([]uint64, numLinks)
+	}
+	inj.salt = inj.salt[:numLinks]
+	inj.ctr = inj.ctr[:numLinks]
+	inj.phase = inj.phase[:numLinks]
+	seed := uint64(plan.Seed)
+	for li := 0; li < numLinks; li++ {
+		inj.salt[li] = mix64(seed ^ mix64(uint64(li)+1))
+		inj.ctr[li] = 0
+		if plan.Burst.enabled() {
+			inj.phase[li] = inj.salt[li] % plan.Burst.Period
+		} else {
+			inj.phase[li] = 0
+		}
+	}
+	inj.affected = inj.affected[:0]
+	words := (numLinks + 63) / 64
+	for wi, w := range inj.plan.Degrade {
+		bits := make([]uint64, words)
+		// A window's link subset is chosen by hashing (seed, window
+		// index, link index) against the fraction threshold, so it is
+		// stable under Reset and independent of traffic.
+		wsalt := mix64(seed ^ mix64(uint64(wi)+0x77))
+		var threshold uint64 = ^uint64(0)
+		if w.LinkFraction > 0 && w.LinkFraction < 1 {
+			threshold = uint64(w.LinkFraction * float64(1<<63) * 2)
+		}
+		for li := 0; li < numLinks; li++ {
+			if mix64(wsalt^mix64(uint64(li)+1)) <= threshold {
+				bits[li/64] |= 1 << (li % 64)
+			}
+		}
+		inj.affected = append(inj.affected, bits)
+	}
+}
+
+// normalizeWindows drops windows that can never add delay so the Delay
+// hot loop only ever sees live ones.
+func normalizeWindows(ws []Window) []Window {
+	out := ws[:0:0]
+	for _, w := range ws {
+		if w.Multiplier > 1 && w.To >= w.From {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// Delay returns the extra cycles injected for one crossing of link li
+// starting at cycle now, where hop is the configured base hop latency.
+// It never allocates. Each call advances link li's jitter stream by one
+// draw; no other link's stream is touched.
+func (inj *Injector) Delay(li int, now, hop uint64) uint64 {
+	var extra uint64
+	if j := inj.plan.HopJitter; j > 0 {
+		draw := mix64(inj.salt[li] + inj.ctr[li])
+		inj.ctr[li]++
+		extra = draw % (uint64(j) + 1)
+	}
+	for wi, w := range inj.plan.Degrade {
+		if now < w.From || now > w.To {
+			continue
+		}
+		if inj.affected[wi][li/64]&(1<<(li%64)) == 0 {
+			continue
+		}
+		extra += uint64(w.Multiplier-1) * hop
+	}
+	if b := inj.plan.Burst; b.enabled() {
+		if (now+inj.phase[li])%b.Period < b.Duration {
+			extra += uint64(b.Extra)
+		}
+	}
+	return extra
+}

@@ -28,6 +28,7 @@ package interconnect
 
 import (
 	"patch/internal/event"
+	"patch/internal/fault"
 	"patch/internal/msg"
 	"patch/internal/topology"
 )
@@ -54,6 +55,11 @@ type Config struct {
 	// Unbounded disables bandwidth accounting entirely (used by the
 	// Figure 9 "unbounded link bandwidth" configurations).
 	Unbounded bool
+
+	// Fault, when non-nil and enabled, injects deterministic adversarial
+	// delay on every link crossing (jitter, degradation windows,
+	// congestion bursts — see internal/fault). nil is a strict no-op.
+	Fault *fault.Plan
 }
 
 // DefaultConfig returns the baseline configuration from §8.1.
@@ -103,6 +109,17 @@ type Network struct {
 	taskFree []*netTask
 	walkFree []*mcastWalk
 
+	// inj injects per-link fault delay; nil when cfg.Fault is absent or
+	// a no-op, which keeps the fault-free hot path down to nil checks.
+	inj *fault.Injector
+	// faultFloor[LinkIndex] is the latest faulted arrival scheduled over
+	// the link: injected delay varies per crossing, but a physical link
+	// still delivers in order, and protocol machinery (TokenB's
+	// persistent-request activation/deactivation pairs) relies on that
+	// per-link FIFO. Jitter therefore reorders traffic across different
+	// routes, never within one link. Allocated only when inj is.
+	faultFloor []event.Time
+
 	// OnSend and OnDeliver are observability hooks (tracing, token
 	// auditing); nil disables them. OnSend fires once per logical message
 	// (including one per multicast), OnDeliver once per delivered copy.
@@ -115,7 +132,7 @@ type Network struct {
 // New creates a network over n nodes.
 func New(eng *event.Engine, n int, cfg Config) *Network {
 	topo := topology.New(n)
-	return &Network{
+	net := &Network{
 		cfg:           cfg,
 		topo:          topo,
 		eng:           eng,
@@ -124,6 +141,11 @@ func New(eng *event.Engine, n int, cfg Config) *Network {
 		beHorizon:     make([]event.Time, topo.NumLinks()),
 		routes:        make([][]topology.Link, n*n),
 	}
+	if cfg.Fault.Enabled() {
+		net.inj = fault.New(*cfg.Fault, topo.NumLinks())
+		net.faultFloor = make([]event.Time, topo.NumLinks())
+	}
+	return net
 }
 
 // Topology exposes the underlying torus (for tests and diagnostics).
@@ -141,6 +163,30 @@ func (n *Network) Reset(cfg Config) {
 	clear(n.beHorizon)
 	n.Stats = LinkStats{}
 	n.OnSend, n.OnDeliver = nil, nil
+	switch {
+	case !cfg.Fault.Enabled():
+		n.inj = nil
+	case n.inj == nil:
+		n.inj = fault.New(*cfg.Fault, n.topo.NumLinks())
+		if n.faultFloor == nil {
+			n.faultFloor = make([]event.Time, n.topo.NumLinks())
+		}
+	default:
+		// Rewind the reused injector's streams so a Reset system replays
+		// the same fault weather as a fresh one.
+		n.inj.Reset(*cfg.Fault, n.topo.NumLinks())
+	}
+	clear(n.faultFloor)
+}
+
+// faultArrive clamps a faulted crossing's arrival so the link stays
+// FIFO (see faultFloor). Called only when inj is non-nil.
+func (n *Network) faultArrive(li int, arrive event.Time) event.Time {
+	if arrive < n.faultFloor[li] {
+		arrive = n.faultFloor[li]
+	}
+	n.faultFloor[li] = arrive
+	return arrive
 }
 
 // Register installs the message handler for a node. Every node must be
@@ -185,10 +231,18 @@ func (n *Network) serialization(bytes int) event.Time {
 // physically arrived at the switch), returning the arrival time at the
 // far side or ok=false when a best-effort message must be dropped.
 func (n *Network) traverse(l topology.Link, now event.Time, ser event.Time, bestEffort bool) (event.Time, bool) {
-	if n.cfg.Unbounded {
-		return now + event.Time(n.cfg.HopLatency), true
-	}
 	li := n.topo.LinkIndex(l)
+	var extra event.Time
+	if n.inj != nil {
+		extra = event.Time(n.inj.Delay(li, uint64(now), uint64(n.cfg.HopLatency)))
+	}
+	if n.cfg.Unbounded {
+		arr := now + event.Time(n.cfg.HopLatency) + extra
+		if n.inj != nil {
+			arr = n.faultArrive(li, arr)
+		}
+		return arr, true
+	}
 	if bestEffort {
 		start := now
 		if h := n.normalHorizon[li]; h > start {
@@ -202,7 +256,13 @@ func (n *Network) traverse(l topology.Link, now event.Time, ser event.Time, best
 		}
 		depart := start + ser
 		n.beHorizon[li] = depart
-		return depart + event.Time(n.cfg.HopLatency), true
+		// Fault delay extends the wire time, not the queueing age, so the
+		// drop decision above is unchanged by injection.
+		arr := depart + event.Time(n.cfg.HopLatency) + extra
+		if n.inj != nil {
+			arr = n.faultArrive(li, arr)
+		}
+		return arr, true
 	}
 	start := now
 	if h := n.normalHorizon[li]; h > start {
@@ -211,7 +271,11 @@ func (n *Network) traverse(l topology.Link, now event.Time, ser event.Time, best
 	n.Stats.QueueCycles += uint64(start - now)
 	depart := start + ser
 	n.normalHorizon[li] = depart
-	return depart + event.Time(n.cfg.HopLatency), true
+	arr := depart + event.Time(n.cfg.HopLatency) + extra
+	if n.inj != nil {
+		arr = n.faultArrive(li, arr)
+	}
+	return arr, true
 }
 
 // account records a message's traffic contribution for links links.
@@ -327,7 +391,11 @@ func (n *Network) sendRouted(m *msg.Message) {
 		return
 	}
 	route := n.route(int(m.Src), int(m.Dst))
-	if n.cfg.Unbounded {
+	if n.cfg.Unbounded && n.inj == nil {
+		// Direct delivery is only valid when every hop costs exactly
+		// HopLatency; fault injection charges per-link delay, so faulted
+		// unbounded traffic walks the route hop by hop like bounded
+		// traffic does.
 		n.account(m, len(route))
 		n.deliver(now+event.Time(n.cfg.RouteOverhead+n.cfg.HopLatency*len(route)), m)
 		return
@@ -494,6 +562,11 @@ func (n *Network) walkFrom(w *mcastWalk, node int, arrive event.Time) {
 		// No contention state to serialise on: propagate directly.
 		for _, l := range w.children[node] {
 			t := arrive + event.Time(n.cfg.HopLatency)
+			if n.inj != nil {
+				li := n.topo.LinkIndex(l)
+				t += event.Time(n.inj.Delay(li, uint64(arrive), uint64(n.cfg.HopLatency)))
+				t = n.faultArrive(li, t)
+			}
 			n.accountBytes(w.m, 1)
 			if w.isWanted(l.To) {
 				c := n.pool.New(*w.m)

@@ -178,6 +178,7 @@ type Harness struct {
 	lastPerformed []uint64 // version reported by the observer, per core
 	obs           []func(msg.Addr, bool, uint64)
 	used          bool
+	netCfg        interconnect.Config
 }
 
 // coreCfg returns the PATCH configuration for the harness's variant.
@@ -193,8 +194,16 @@ func (p Protocol) coreCfg() core.Config {
 }
 
 // NewHarness assembles a reusable system of the given size for one
-// protocol variant.
+// protocol variant, on the default fault-free interconnect.
 func NewHarness(p Protocol, cores int) (*Harness, error) {
+	return NewHarnessNet(p, cores, interconnect.DefaultConfig())
+}
+
+// NewHarnessNet is NewHarness with an explicit interconnect
+// configuration, so the conformance matrix can run the same scripts
+// under fault injection (jittered, degraded, bursting links) and pin
+// that the axioms are timing-independent in fact, not just by design.
+func NewHarnessNet(p Protocol, cores int, net interconnect.Config) (*Harness, error) {
 	h := &Harness{
 		p:             p,
 		cores:         cores,
@@ -203,8 +212,9 @@ func NewHarness(p Protocol, cores int) (*Harness, error) {
 		l2:            make([]*cache.Cache, cores),
 		lastPerformed: make([]uint64, cores),
 		enc:           directory.FullMap(cores),
+		netCfg:        net,
 	}
-	h.net = interconnect.New(h.eng, cores, interconnect.DefaultConfig())
+	h.net = interconnect.New(h.eng, cores, h.netCfg)
 	h.env = protocol.DefaultEnv(h.eng, h.net, cores)
 	for i := 0; i < cores; i++ {
 		id := msg.NodeID(i)
@@ -245,7 +255,7 @@ func (h *Harness) attachObserver(i int) {
 // observers ResetBase cleared.
 func (h *Harness) reset() {
 	h.eng.Reset()
-	h.net.Reset(interconnect.DefaultConfig())
+	h.net.Reset(h.netCfg)
 	for i, n := range h.nodes {
 		switch v := n.(type) {
 		case *directoryproto.Node:
@@ -454,9 +464,16 @@ type Suite struct {
 // NewSuite builds the per-protocol harnesses for systems of the given
 // size.
 func NewSuite(cores int) (*Suite, error) {
+	return NewSuiteNet(cores, interconnect.DefaultConfig())
+}
+
+// NewSuiteNet is NewSuite on an explicit interconnect configuration;
+// the fault-conformance matrix uses it to run every protocol on
+// jittered, degraded, bursting links.
+func NewSuiteNet(cores int, net interconnect.Config) (*Suite, error) {
 	s := &Suite{cores: cores}
 	for p := Protocol(0); p < NumProtocols; p++ {
-		h, err := NewHarness(p, cores)
+		h, err := NewHarnessNet(p, cores, net)
 		if err != nil {
 			return nil, err
 		}

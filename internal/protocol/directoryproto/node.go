@@ -11,6 +11,7 @@ package directoryproto
 
 import (
 	"fmt"
+	"sort"
 
 	"patch/internal/addrmap"
 	"patch/internal/cache"
@@ -144,6 +145,21 @@ func (n *Node) Quiesced() bool {
 
 // Directory exposes the home slice for checkers.
 func (n *Node) Directory() *directory.Directory { return n.dir }
+
+// AppendMSHRDiags appends one record per outstanding miss, sorted by
+// address, for the simulator's failure diagnostics.
+func (n *Node) AppendMSHRDiags(dst []protocol.MSHRDiag) []protocol.MSHRDiag {
+	addrs := make([]msg.Addr, 0, len(n.mshrs))
+	for a := range n.mshrs {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for _, a := range addrs {
+		m := n.mshrs[a]
+		dst = append(dst, protocol.MSHRDiag{Node: n.ID, Addr: a, Issued: m.issued, Write: m.isWrite})
+	}
+	return dst
+}
 
 // Access implements protocol.Node.
 func (n *Node) Access(addr msg.Addr, isWrite bool, done func()) {

@@ -27,6 +27,16 @@ type Node interface {
 	Quiesced() bool
 }
 
+// MSHRDiag describes one outstanding miss for liveness forensics. The
+// per-protocol AppendMSHRDiags accessors emit them sorted by address so
+// diagnostic dumps are deterministic.
+type MSHRDiag struct {
+	Node   msg.NodeID
+	Addr   msg.Addr
+	Issued event.Time
+	Write  bool
+}
+
 // Env is the environment shared by all nodes of one simulated system.
 type Env struct {
 	Eng *event.Engine
@@ -128,6 +138,14 @@ type Base struct {
 	// steady-state waiter replays and delayed sends allocate nothing.
 	replayFree FreeList[replayTask]
 	sendFree   FreeList[sendTask]
+
+	// pending tracks the node's outstanding delayed sends. Token-carrying
+	// home responses deduct tokens from the holder when the message is
+	// built, then sit in a sendTask for the directory/DRAM latency —
+	// during that window the tokens are visible neither to any holder nor
+	// to the network auditor. Mid-run conservation audits iterate this
+	// list to account for them (see PendingSends).
+	pending []*sendTask
 }
 
 // FreeList is the shared recycling discipline for pooled per-node
@@ -187,6 +205,11 @@ func (b *Base) ResetBase() {
 	b.St = Stats{}
 	b.Observer = nil
 	b.avgRTT = 100
+	for i, t := range b.pending {
+		t.m = nil
+		b.pending[i] = nil
+	}
+	b.pending = b.pending[:0]
 }
 
 // replayTask re-issues an access that queued behind an outstanding miss
@@ -221,26 +244,52 @@ func (b *Base) Replay(d event.Time, addr msg.Addr, isWrite bool, done func()) {
 // replacement for After(d, func(){ Send(m) }) closures on home paths
 // (directory and DRAM latencies).
 type sendTask struct {
-	b *Base
-	m *msg.Message
+	b   *Base
+	m   *msg.Message
+	due event.Time
+	pos int // index in b.pending, maintained by swap-removal
 }
 
 // Fire implements event.Task.
 func (t *sendTask) Fire(event.Time) {
 	b, m := t.b, t.m
 	t.m = nil
+	b.unpend(t)
 	b.sendFree.Put(t)
 	b.Send(m)
 }
 
 // SendAfter sends m (stamping the source at fire time, like Send) after
-// d cycles, without allocating. The caller's reference to a pooled m is
-// consumed when the send fires.
+// d cycles, without allocating in steady state. The caller's reference
+// to a pooled m is consumed when the send fires.
 func (b *Base) SendAfter(d event.Time, m *msg.Message) {
 	t := b.sendFree.Get()
 	t.b = b
 	t.m = m
+	t.due = b.Env.Eng.Now() + d
+	t.pos = len(b.pending)
+	b.pending = append(b.pending, t)
 	b.Env.Eng.AfterTask(d, t)
+}
+
+// unpend removes a fired sendTask from the pending list in O(1).
+func (b *Base) unpend(t *sendTask) {
+	last := len(b.pending) - 1
+	moved := b.pending[last]
+	b.pending[t.pos] = moved
+	moved.pos = t.pos
+	b.pending[last] = nil
+	b.pending = b.pending[:last]
+}
+
+// PendingSends invokes fn for every delayed send that has not yet been
+// handed to the network, with its scheduled send time. Iteration order
+// is arbitrary but deterministic (insertion order perturbed by
+// swap-removal). Callers must not retain or mutate the message.
+func (b *Base) PendingSends(fn func(due event.Time, m *msg.Message)) {
+	for _, t := range b.pending {
+		fn(t.due, t.m)
+	}
 }
 
 // ResetStats clears the performance counters (after cache warmup) while

@@ -9,6 +9,7 @@ package tokenb
 
 import (
 	"fmt"
+	"sort"
 
 	"patch/internal/addrmap"
 	"patch/internal/cache"
@@ -144,6 +145,21 @@ func (n *Node) freeMSHR(m *mshr) {
 
 // Memory exposes the home token store for conservation checks.
 func (n *Node) Memory() *directory.Directory { return n.mem }
+
+// AppendMSHRDiags appends one record per outstanding miss, sorted by
+// address, for the simulator's failure diagnostics.
+func (n *Node) AppendMSHRDiags(dst []protocol.MSHRDiag) []protocol.MSHRDiag {
+	addrs := make([]msg.Addr, 0, len(n.mshrs))
+	for a := range n.mshrs {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for _, a := range addrs {
+		m := n.mshrs[a]
+		dst = append(dst, protocol.MSHRDiag{Node: n.ID, Addr: a, Issued: m.issued, Write: m.isWrite})
+	}
+	return dst
+}
 
 // Quiesced implements protocol.Node.
 func (n *Node) Quiesced() bool {

@@ -137,6 +137,14 @@ type Config struct {
 
 	// SkipChecks disables end-of-run invariant checking (benchmarks).
 	SkipChecks bool
+
+	// AuditEvery, when non-zero and checks are enabled, runs the mid-run
+	// invariant audit (token conservation including in-flight and
+	// delayed-send tokens, single-writer, home queue-depth bounds) every
+	// AuditEvery cycles. Fault-injected runs default it on; it is
+	// verification-only and, like SkipChecks, not part of a config's
+	// identity.
+	AuditEvery uint64
 }
 
 // withDefaults fills unset fields.
@@ -160,7 +168,9 @@ func (c Config) withDefaults() Config {
 		c.Coarseness = 1
 	}
 	if c.Net.BytesPerKiloCycle == 0 && !c.Net.Unbounded {
+		f := c.Net.Fault
 		c.Net = interconnect.DefaultConfig()
+		c.Net.Fault = f
 	}
 	if c.Net.HopLatency == 0 {
 		c.Net.HopLatency = 3
@@ -170,6 +180,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxCycles == 0 {
 		c.MaxCycles = 2_000_000_000
+	}
+	if c.AuditEvery == 0 && !c.SkipChecks && c.Net.Fault.Enabled() {
+		// Injected runs audit themselves: adversarial delay is what
+		// shakes transient invariant violations loose, and 10k cycles
+		// keeps the overhead marginal.
+		c.AuditEvery = 10_000
 	}
 	return c
 }
@@ -237,6 +253,11 @@ type System struct {
 	orderViolation error
 	lastSeen       []*addrmap.Map[uint64]
 	obsFns         []func(addr msg.Addr, isWrite bool, version uint64)
+
+	// auditT is the reusable mid-run invariant audit task (AuditEvery);
+	// auditErr records the first violation it found.
+	auditT   *auditTask
+	auditErr error
 
 	// closer releases the trace replay's file or mapping (streaming
 	// replays keep the trace open for the whole run); Run closes it.
@@ -326,6 +347,7 @@ func (s *System) Reset(cfg Config) error {
 	s.opsIssued = 0
 	s.startedAt, s.doneAt = 0, 0
 	s.orderViolation = nil
+	s.auditErr = nil
 	if cfg.SkipChecks {
 		s.storeCounts, s.auditor = nil, nil
 	} else {
@@ -549,6 +571,12 @@ func (s *System) start() {
 			}
 		}
 	}
+	if !s.Cfg.SkipChecks && s.Cfg.AuditEvery > 0 {
+		if s.auditT == nil {
+			s.auditT = &auditTask{s: s}
+		}
+		s.Eng.AfterTask(event.Time(s.Cfg.AuditEvery), s.auditT)
+	}
 	if s.Cfg.WarmupOps > 0 {
 		s.warming = true
 		for c := range s.issuers {
@@ -601,17 +629,18 @@ func (s *System) Run() (*Result, error) {
 	const chunk = 4 << 20
 	for {
 		n := s.Eng.Run(chunk)
+		if s.auditErr != nil {
+			return nil, s.auditErr
+		}
 		if uint64(s.Eng.Now()) > s.Cfg.MaxCycles {
-			return nil, fmt.Errorf("sim: liveness watchdog: %d cycles elapsed, %d/%d cores finished (%s on %s)",
-				s.Eng.Now(), s.finished, s.Cfg.Cores, s.Cfg.Protocol, s.Cfg.Workload)
+			return nil, s.failRun(FailWatchdog, "")
 		}
 		if n < chunk {
 			break // queue drained
 		}
 	}
 	if s.finished != s.Cfg.Cores {
-		return nil, fmt.Errorf("sim: deadlock: event queue empty with %d/%d cores finished (%s on %s)",
-			s.finished, s.Cfg.Cores, s.Cfg.Protocol, s.Cfg.Workload)
+		return nil, s.failRun(FailDeadlock, "")
 	}
 	// A replayed trace must never have been driven past its recorded
 	// streams: NewSystem sizes the run to Len(), so any over-drive means

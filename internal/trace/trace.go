@@ -155,6 +155,25 @@ func (a *Auditor) InFlight(addr msg.Addr) (count, owners int) {
 	return t.count, t.owners
 }
 
+// InFlightByBlock invokes add for every block with tokens currently in
+// flight. Iteration order is unspecified; callers accumulate into
+// order-independent sums (the simulator's mid-run conservation audit
+// folds these into an insertion-ordered addrmap).
+func (a *Auditor) InFlightByBlock(add func(addr msg.Addr, count, owners int)) {
+	for addr, t := range a.inflight {
+		add(addr, t.count, t.owners)
+	}
+}
+
+// InFlightTotals summarises the network's token load: how many blocks
+// have tokens in flight and the total token count, for diagnostics.
+func (a *Auditor) InFlightTotals() (blocks, tokens int) {
+	for _, t := range a.inflight {
+		tokens += t.count
+	}
+	return len(a.inflight), tokens
+}
+
 // QuiescentOK reports whether nothing is in flight (call once the event
 // queue drains; leftover in-flight state means a message was lost).
 func (a *Auditor) QuiescentOK() bool { return len(a.inflight) == 0 }

@@ -102,3 +102,9 @@ func WithMaxCycles(n uint64) Option { return func(c *Config) { c.MaxCycles = n }
 // WithSkipChecks disables end-of-run invariant verification (benchmark
 // loops only).
 func WithSkipChecks() Option { return func(c *Config) { c.SkipChecks = true } }
+
+// WithFaultPlan injects deterministic interconnect faults (seeded delay
+// jitter, link-degradation windows, congestion bursts) and enables the
+// mid-run invariant audit. nil, and plans that inject nothing, are
+// no-ops.
+func WithFaultPlan(p *FaultPlan) Option { return func(c *Config) { c.FaultPlan = p } }

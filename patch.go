@@ -154,6 +154,12 @@ type Config struct {
 	// SkipChecks disables the end-of-run invariant verification
 	// (benchmark loops only).
 	SkipChecks bool `json:"skip_checks,omitempty"`
+
+	// FaultPlan, when set, injects deterministic interconnect faults
+	// (seeded delay jitter, degradation windows, congestion bursts) and
+	// enables the mid-run invariant audit. A nil or no-op plan leaves
+	// the simulation bit-identical to an unfaulted run.
+	FaultPlan *FaultPlan `json:"fault_plan,omitempty"`
 }
 
 // Result is the outcome of one run. Like Config it is a wire type
@@ -232,6 +238,10 @@ func (c Config) toSim() sim.Config {
 		sc.Net = interconnect.DefaultConfig()
 		sc.Net.BytesPerKiloCycle = c.BandwidthBytesPerKiloCycle
 	}
+	// After the bandwidth branches: both leave sc.Net fully formed, and
+	// the zero-value branch is re-defaulted inside sim with the fault
+	// pointer preserved.
+	sc.Net.Fault = c.FaultPlan.toPlan()
 	return sc
 }
 

@@ -14,7 +14,11 @@
 #                  mid-job, restart on the same -data-dir, and require
 #                  the job to resume from the journal (no completed
 #                  replica re-runs) and still serve byte-identical CSV.
-#   4. drain     — SIGTERM exits 0 after a graceful drain.
+#   4. retry     — kill -9 the daemon under a polling worker, restart
+#                  it, and require the SAME worker process to ride out
+#                  the outage on its retry backoff (its log must show
+#                  the retries) and then finish a fresh job.
+#   5. drain     — SIGTERM exits 0 after a graceful drain.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -202,9 +206,55 @@ cmp "$workdir/crash-local.csv" "$workdir/crash.csv" || {
   echo "smoke: resumed CSV differs from local sweep" >&2; exit 1
 }
 
-# ---- Phase 4: graceful shutdown ------------------------------------
+# ---- Phase 4: server outage under a live worker --------------------
+# A fresh seed so nothing is served from the cache: the job completes
+# only if the worker actually survives the outage and runs it.
+sed 's/"seed": 1/"seed": 11/' "$workdir/matrix.json" > "$workdir/retry-matrix.json"
+printf '{"matrix":%s,"remote_only":true}' "$(cat "$workdir/retry-matrix.json")" > "$workdir/retry-jobspec.json"
+
+"$workdir/sweepd" -worker "$base" -token "$token" -batch 1 -retries 10 \
+  2> "$workdir/worker-retry.log" &
+worker_pid=$!
+sleep 0.5 # let the worker reach its idle claim/poll loop
+
+kill -9 "$server_pid"
+wait "$server_pid" 2>/dev/null || true
+server_pid=""
+
+# The worker must notice the dead server and start backing off.
+for _ in $(seq 1 100); do
+  grep -q "retrying" "$workdir/worker-retry.log" && break
+  sleep 0.1
+done
+grep -q "retrying" "$workdir/worker-retry.log" || {
+  echo "smoke: worker never logged a retry against the dead server" >&2
+  cat "$workdir/worker-retry.log" >&2
+  exit 1
+}
+
+start_server
+retry_id=$(curl -fsS -X POST -H 'Content-Type: application/json' "${auth[@]}" \
+  --data-binary @"$workdir/retry-jobspec.json" "$base/jobs" |
+  grep -o '"id":"[^"]*"' | head -n1 | cut -d'"' -f4)
+[ -n "$retry_id" ] || { echo "smoke: no retry job id" >&2; exit 1; }
+for _ in $(seq 1 200); do
+  st=$(curl -fsS "$base/jobs/$retry_id")
+  echo "$st" | grep -q '"state":"done"' && break
+  sleep 0.05
+done
+echo "$st" | grep -q '"state":"done"' || {
+  echo "smoke: retry job did not finish — worker did not survive the outage: $st" >&2
+  cat "$workdir/worker-retry.log" >&2
+  exit 1
+}
+kill -9 "$worker_pid" 2>/dev/null || true
+wait "$worker_pid" 2>/dev/null || true
+worker_pid=""
+echo "smoke: worker rode out a kill -9 server outage ($(grep -c 'retrying' "$workdir/worker-retry.log") logged retries)"
+
+# ---- Phase 5: graceful shutdown ------------------------------------
 kill -TERM "$server_pid"
 wait "$server_pid"
 server_pid=""
 
-echo "sweepd smoke: OK (auth + cold + warm + kill-9 resume byte-identical, clean drain)"
+echo "sweepd smoke: OK (auth + cold + warm + kill-9 resume byte-identical + worker retry, clean drain)"

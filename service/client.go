@@ -82,13 +82,14 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 		return errNoContent
 	}
 	if resp.StatusCode/100 != 2 {
+		se := &StatusError{Method: method, Path: path, Code: resp.StatusCode, Status: resp.Status}
 		var e struct {
 			Error string `json:"error"`
 		}
 		if json.NewDecoder(io.LimitReader(resp.Body, 1<<14)).Decode(&e) == nil && e.Error != "" {
-			return fmt.Errorf("%s %s: %s (%s)", method, path, e.Error, resp.Status)
+			se.Message = e.Error
 		}
-		return fmt.Errorf("%s %s: %s", method, path, resp.Status)
+		return se
 	}
 	if out == nil {
 		return nil
@@ -97,6 +98,33 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 }
 
 var errNoContent = fmt.Errorf("service: no content")
+
+// StatusError is a non-2xx response from the server. Carrying the
+// numeric code lets callers classify failures: the worker loop retries
+// conditions the server may recover from and fails fast on
+// deterministic rejections (bad request, auth).
+type StatusError struct {
+	// Method and Path identify the request that failed.
+	Method, Path string
+	// Code is the numeric HTTP status; Status is the full status line.
+	Code   int
+	Status string
+	// Message is the server's "error" body field, when present.
+	Message string
+}
+
+func (e *StatusError) Error() string {
+	if e.Message != "" {
+		return fmt.Sprintf("%s %s: %s (%s)", e.Method, e.Path, e.Message, e.Status)
+	}
+	return fmt.Sprintf("%s %s: %s", e.Method, e.Path, e.Status)
+}
+
+// Temporary reports whether the status indicates a condition worth
+// retrying: server-side errors and throttling.
+func (e *StatusError) Temporary() bool {
+	return e.Code >= 500 || e.Code == http.StatusTooManyRequests
+}
 
 // Submit posts a JobSpec and returns the created job's status.
 func (c *Client) Submit(ctx context.Context, spec JobSpec) (JobStatus, error) {

@@ -2,7 +2,9 @@ package service
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"math/rand"
 	"time"
 
 	"patch"
@@ -20,7 +22,15 @@ type WorkerConfig struct {
 	// forever — used by tests and batch deployments where the queue is
 	// known to be loaded up front.
 	OneShot bool
-	// Log receives one line per claim batch; nil discards.
+	// Retries bounds the attempts per server call (claim or result
+	// post) under transient failure before the worker gives up and
+	// exits the farm. <=0 selects 6.
+	Retries int
+	// RetryBase is the backoff before the first retry; it doubles per
+	// attempt with jitter. <=0 selects 250ms.
+	RetryBase time.Duration
+	// Log receives one line per claim batch and per retry; nil
+	// discards.
 	Log func(format string, args ...any)
 }
 
@@ -35,6 +45,12 @@ type WorkerConfig struct {
 // third of the server's lease, so a healthy worker keeps a slow
 // replica however long it takes, while a crashed worker's claims
 // return to the pool after a single lease.
+//
+// Claims and result posts ride through transient server failures
+// (connection errors, 5xx, throttling) with jittered exponential
+// backoff: a farm whose server restarts must not shed its healthy
+// workers. Deterministic rejections — bad request, auth — fail
+// immediately.
 func RunWorker(ctx context.Context, client *Client, cfg WorkerConfig) error {
 	if cfg.Batch <= 0 {
 		cfg.Batch = 4
@@ -42,17 +58,32 @@ func RunWorker(ctx context.Context, client *Client, cfg WorkerConfig) error {
 	if cfg.Poll <= 0 {
 		cfg.Poll = 250 * time.Millisecond
 	}
+	if cfg.Retries <= 0 {
+		cfg.Retries = 6
+	}
+	if cfg.RetryBase <= 0 {
+		cfg.RetryBase = 250 * time.Millisecond
+	}
 	logf := cfg.Log
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
+	retry := retrier{attempts: cfg.Retries, base: cfg.RetryBase, logf: logf}
 	runner := patch.NewRunner()
 	defer runner.Close()
 	for {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		batch, ok, err := client.Claim(ctx, cfg.Batch)
+		var (
+			batch ClaimBatch
+			ok    bool
+		)
+		err := retry.do(ctx, "claim", func() error {
+			var err error
+			batch, ok, err = client.Claim(ctx, cfg.Batch)
+			return err
+		})
 		if err != nil {
 			return fmt.Errorf("service: worker claim: %w", err)
 		}
@@ -67,16 +98,64 @@ func RunWorker(ctx context.Context, client *Client, cfg WorkerConfig) error {
 			}
 			continue
 		}
-		if err := runBatch(ctx, client, runner, batch); err != nil {
+		if err := runBatch(ctx, client, runner, retry, batch); err != nil {
 			return err
 		}
 		logf("worker: %s: ran %d replicas", batch.Job, len(batch.Replicas))
 	}
 }
 
+// retrier issues one server call, re-attempting transient failures
+// with jittered exponential backoff. The jitter decorrelates a farm of
+// workers hammering a freshly restarted server; this is host-side
+// wall-clock code, outside the simulator's determinism scope.
+type retrier struct {
+	attempts int
+	base     time.Duration
+	logf     func(format string, args ...any)
+}
+
+func (r retrier) do(ctx context.Context, what string, call func() error) error {
+	delay := r.base
+	for attempt := 1; ; attempt++ {
+		err := call()
+		if err == nil || attempt >= r.attempts || !transient(err) {
+			return err
+		}
+		// Jitter in [delay/2, delay), doubling each round.
+		half := delay / 2
+		if half <= 0 {
+			half = 1
+		}
+		d := half + time.Duration(rand.Int63n(int64(half)))
+		r.logf("worker: %s failed (attempt %d/%d), retrying in %v: %v",
+			what, attempt, r.attempts, d, err)
+		select {
+		case <-ctx.Done():
+			return err
+		case <-time.After(d):
+		}
+		delay *= 2
+	}
+}
+
+// transient reports whether err may clear on its own: transport
+// failures and server-side HTTP conditions (5xx, 429) qualify; context
+// cancellation and the remaining 4xx statuses are terminal.
+func transient(err error) bool {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var se *StatusError
+	if errors.As(err, &se) {
+		return se.Temporary()
+	}
+	return true
+}
+
 // runBatch executes one claimed batch under a heartbeat and posts the
 // results back.
-func runBatch(ctx context.Context, client *Client, runner patch.Runner, batch ClaimBatch) error {
+func runBatch(ctx context.Context, client *Client, runner patch.Runner, retry retrier, batch ClaimBatch) error {
 	hbCtx, hbStop := context.WithCancel(ctx)
 	defer hbStop()
 	if batch.LeaseMillis > 0 {
@@ -103,6 +182,11 @@ func runBatch(ctx context.Context, client *Client, runner patch.Runner, batch Cl
 			}
 		}()
 	}
+	post := func(results []ReplicaResult) error {
+		return retry.do(ctx, "post results", func() error {
+			return client.PostResults(ctx, batch.Job, results)
+		})
+	}
 	results := make([]ReplicaResult, 0, len(batch.Replicas))
 	for _, claim := range batch.Replicas {
 		if err := ctx.Err(); err != nil {
@@ -111,13 +195,20 @@ func runBatch(ctx context.Context, client *Client, runner patch.Runner, batch Cl
 		r, err := runner.RunReplica(claim.Config)
 		if err != nil {
 			// Report what we have, then surface the failure; the
-			// lease returns the rest to the pool.
-			_ = client.PostResults(ctx, batch.Job, results)
-			return fmt.Errorf("service: worker replica %d of %s: %w", claim.Index, batch.Job, err)
+			// lease returns the rest to the pool. A failed flush is
+			// joined into the chain rather than dropped — it tells
+			// the operator the completed replicas were lost too.
+			runErr := fmt.Errorf("service: worker replica %d of %s: %w", claim.Index, batch.Job, err)
+			if perr := post(results); perr != nil {
+				retry.logf("worker: %s: posting %d partial results failed: %v",
+					batch.Job, len(results), perr)
+				return errors.Join(runErr, fmt.Errorf("service: worker post partial: %w", perr))
+			}
+			return runErr
 		}
 		results = append(results, ReplicaResult{Index: claim.Index, Result: r})
 	}
-	if err := client.PostResults(ctx, batch.Job, results); err != nil {
+	if err := post(results); err != nil {
 		return fmt.Errorf("service: worker post: %w", err)
 	}
 	return nil

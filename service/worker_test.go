@@ -1,0 +1,215 @@
+package service_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"patch/service"
+)
+
+// faultGate is a middleware that injects HTTP failures into the farm
+// API, simulating a server mid-restart or an overloaded proxy. Each
+// keyed endpoint fails with 503 until its budget runs out; every
+// request is counted either way.
+type faultGate struct {
+	mu    sync.Mutex
+	fails map[string]int // endpoint key -> injected failures remaining (-1: forever)
+	hits  map[string]int
+}
+
+func newFaultGate(fails map[string]int) *faultGate {
+	return &faultGate{fails: fails, hits: make(map[string]int)}
+}
+
+func gateKey(r *http.Request) string {
+	switch {
+	case strings.HasSuffix(r.URL.Path, "/claim"):
+		return "claim"
+	case strings.HasSuffix(r.URL.Path, "/results"):
+		return "results"
+	}
+	return ""
+}
+
+func (g *faultGate) wrap(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if key := gateKey(r); key != "" {
+			g.mu.Lock()
+			g.hits[key]++
+			inject := g.fails[key] != 0
+			if g.fails[key] > 0 {
+				g.fails[key]--
+			}
+			g.mu.Unlock()
+			if inject {
+				w.Header().Set("Content-Type", "application/json")
+				w.WriteHeader(http.StatusServiceUnavailable)
+				fmt.Fprint(w, `{"error":"injected outage"}`)
+				return
+			}
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+func (g *faultGate) count(key string) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.hits[key]
+}
+
+// TestWorkerRidesOutTransientFailures is the farm-hardening gate: a
+// worker whose claims and result posts hit a burst of 503s must retry
+// through the outage and still deliver a job byte-identical to a
+// local sweep, logging each retry.
+func TestWorkerRidesOutTransientFailures(t *testing.T) {
+	m := smokeMatrix()
+	want := localCSV(t, m)
+	gate := newFaultGate(map[string]int{"claim": 2, "results": 1})
+	ts := httptest.NewServer(gate.wrap(service.New(service.Config{})))
+	defer ts.Close()
+	c := &service.Client{Base: ts.URL}
+
+	ctx := context.Background()
+	st, err := c.Submit(ctx, service.JobSpec{Matrix: m, RemoteOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var logMu sync.Mutex
+	var logs []string
+	err = service.RunWorker(ctx, c, service.WorkerConfig{
+		Batch: 1, OneShot: true, Retries: 6, RetryBase: time.Millisecond,
+		Log: func(format string, args ...any) {
+			logMu.Lock()
+			logs = append(logs, fmt.Sprintf(format, args...))
+			logMu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatalf("worker did not survive transient outage: %v", err)
+	}
+	st, err = c.Wait(ctx, st.ID, 5*time.Millisecond)
+	if err != nil {
+		t.Fatalf("job did not finish: %v", err)
+	}
+	if got := download(t, c, st.ID, "csv"); !bytes.Equal(got, want) {
+		t.Errorf("served CSV differs from local sweep after retries")
+	}
+	logMu.Lock()
+	defer logMu.Unlock()
+	retries := 0
+	for _, line := range logs {
+		if strings.Contains(line, "retrying") {
+			retries++
+		}
+	}
+	if want := 3; retries != want {
+		t.Errorf("logged %d retries, want %d (2 claim + 1 post):\n%s",
+			retries, want, strings.Join(logs, "\n"))
+	}
+}
+
+// TestWorkerFailsFastOnClientError: deterministic rejections (here
+// 401) must not be retried — the worker exits after one attempt with
+// the typed status in the chain.
+func TestWorkerFailsFastOnClientError(t *testing.T) {
+	gate := newFaultGate(nil)
+	ts := httptest.NewServer(gate.wrap(service.New(service.Config{Token: "secret"})))
+	defer ts.Close()
+	c := &service.Client{Base: ts.URL} // no token
+
+	err := service.RunWorker(context.Background(), c, service.WorkerConfig{
+		OneShot: true, Retries: 5, RetryBase: time.Millisecond,
+	})
+	if err == nil {
+		t.Fatal("worker succeeded against an auth-protected server")
+	}
+	var se *service.StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusUnauthorized {
+		t.Fatalf("want StatusError 401 in chain, got: %v", err)
+	}
+	if got := gate.count("claim"); got != 1 {
+		t.Errorf("claim attempted %d times, want 1 (4xx must not be retried)", got)
+	}
+}
+
+// TestWorkerExhaustsRetryBudget: a permanent outage drains the budget
+// and surfaces the last transient error instead of spinning forever.
+func TestWorkerExhaustsRetryBudget(t *testing.T) {
+	gate := newFaultGate(map[string]int{"claim": -1})
+	ts := httptest.NewServer(gate.wrap(service.New(service.Config{})))
+	defer ts.Close()
+	c := &service.Client{Base: ts.URL}
+
+	err := service.RunWorker(context.Background(), c, service.WorkerConfig{
+		OneShot: true, Retries: 3, RetryBase: time.Millisecond,
+	})
+	if err == nil || !strings.Contains(err.Error(), "worker claim") {
+		t.Fatalf("want claim failure after budget, got: %v", err)
+	}
+	var se *service.StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusServiceUnavailable {
+		t.Fatalf("want StatusError 503 in chain, got: %v", err)
+	}
+	if got := gate.count("claim"); got != 3 {
+		t.Errorf("claim attempted %d times, want exactly the budget of 3", got)
+	}
+}
+
+// TestWorkerJoinsPartialPostFailure: when a replica fails AND flushing
+// the batch's completed results also fails, both errors must survive
+// in the returned chain — previously the post error was dropped.
+func TestWorkerJoinsPartialPostFailure(t *testing.T) {
+	m := smokeMatrix()
+	// A watchdog tripwire: far more work than one cycle allows, so the
+	// replica fails at run time with a liveness error.
+	m.Base.OpsPerCore = 100_000
+	m.Base.MaxCycles = 1
+	gate := newFaultGate(map[string]int{"results": -1})
+	ts := httptest.NewServer(gate.wrap(service.New(service.Config{})))
+	defer ts.Close()
+	c := &service.Client{Base: ts.URL}
+
+	if _, err := c.Submit(context.Background(), service.JobSpec{Matrix: m, RemoteOnly: true}); err != nil {
+		t.Fatal(err)
+	}
+	err := service.RunWorker(context.Background(), c, service.WorkerConfig{
+		Batch: 2, OneShot: true, Retries: 2, RetryBase: time.Millisecond,
+	})
+	if err == nil {
+		t.Fatal("worker succeeded on a watchdog-tripping job")
+	}
+	for _, want := range []string{"worker replica", "worker post partial"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error chain missing %q: %v", want, err)
+		}
+	}
+	var se *service.StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusServiceUnavailable {
+		t.Errorf("post-partial StatusError not in chain: %v", err)
+	}
+}
+
+func TestStatusErrorTemporary(t *testing.T) {
+	for code, want := range map[int]bool{
+		http.StatusInternalServerError: true,
+		http.StatusServiceUnavailable:  true,
+		http.StatusTooManyRequests:     true,
+		http.StatusBadRequest:          false,
+		http.StatusUnauthorized:        false,
+		http.StatusNotFound:            false,
+	} {
+		se := &service.StatusError{Code: code}
+		if se.Temporary() != want {
+			t.Errorf("StatusError{Code: %d}.Temporary() = %v, want %v", code, !want, want)
+		}
+	}
+}

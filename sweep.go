@@ -80,8 +80,8 @@ func AdaptivityProtocols() []ProtoVariant {
 // (§8) is a grid of configurations x workloads x seeds. An empty axis
 // keeps the base configuration's value. Expansion order is fixed and
 // documented — Workloads (outermost), then Cores, Bandwidths,
-// Coarseness, and Protocols (innermost) — so results are stable and
-// independent of how many workers run the sweep.
+// Coarseness, Faults, and Protocols (innermost) — so results are stable
+// and independent of how many workers run the sweep.
 type Matrix struct {
 	// Base is the cell template; axis values override its fields.
 	Base Config `json:"base"`
@@ -91,6 +91,9 @@ type Matrix struct {
 	Bandwidths []int          `json:"bandwidths,omitempty"` // bytes/kilocycle; 0 = paper default, Unbounded = no contention
 	Coarseness []int          `json:"coarseness,omitempty"`
 	Cores      []int          `json:"cores,omitempty"`
+	// Faults sweeps fault-injection plans as a first-class axis (a nil
+	// entry is the fault-free column).
+	Faults []*FaultPlan `json:"faults,omitempty"`
 
 	// Seeds is the number of perturbed runs per cell (Base.Seed,
 	// Base.Seed+1, ...); 0 means 1.
@@ -176,6 +179,10 @@ func (m Matrix) expand() (*plan, error) {
 	if len(coarsenesses) == 0 {
 		coarsenesses = []int{m.Base.DirectoryCoarseness}
 	}
+	faults := m.Faults
+	if len(faults) == 0 {
+		faults = []*FaultPlan{m.Base.FaultPlan}
+	}
 	protocols := m.Protocols
 	if len(protocols) == 0 {
 		protocols = []ProtoVariant{{Protocol: m.Base.Protocol, Variant: m.Base.Variant}}
@@ -186,32 +193,35 @@ func (m Matrix) expand() (*plan, error) {
 		for _, cores := range coreCounts {
 			for _, bw := range bandwidths {
 				for _, k := range coarsenesses {
-					for _, pv := range protocols {
-						cfg := m.Base
-						cfg.Workload = wl
-						cfg.Cores = cores
-						cfg.DirectoryCoarseness = k
-						cfg.Protocol = pv.Protocol
-						cfg.Variant = pv.Variant
-						if bw == Unbounded {
-							cfg.UnboundedBandwidth = true
-							cfg.BandwidthBytesPerKiloCycle = 0
-						} else {
-							cfg.UnboundedBandwidth = false
-							cfg.BandwidthBytesPerKiloCycle = bw
+					for _, fp := range faults {
+						for _, pv := range protocols {
+							cfg := m.Base
+							cfg.Workload = wl
+							cfg.Cores = cores
+							cfg.DirectoryCoarseness = k
+							cfg.FaultPlan = fp
+							cfg.Protocol = pv.Protocol
+							cfg.Variant = pv.Variant
+							if bw == Unbounded {
+								cfg.UnboundedBandwidth = true
+								cfg.BandwidthBytesPerKiloCycle = 0
+							} else {
+								cfg.UnboundedBandwidth = false
+								cfg.BandwidthBytesPerKiloCycle = bw
+							}
+							if adjust != nil {
+								cfg = adjust(cfg)
+							}
+							if filter != nil && !filter(cfg) {
+								continue
+							}
+							if err := cfg.Validate(); err != nil {
+								// The wrapped error already carries the
+								// "patch:" prefix.
+								return nil, fmt.Errorf("cell %d (%s): %w", len(cells), pv.Name(), err)
+							}
+							cells = append(cells, cell{cfg: cfg, label: pv.Name()})
 						}
-						if adjust != nil {
-							cfg = adjust(cfg)
-						}
-						if filter != nil && !filter(cfg) {
-							continue
-						}
-						if err := cfg.Validate(); err != nil {
-							// The wrapped error already carries the
-							// "patch:" prefix.
-							return nil, fmt.Errorf("cell %d (%s): %w", len(cells), pv.Name(), err)
-						}
-						cells = append(cells, cell{cfg: cfg, label: pv.Name()})
 					}
 				}
 			}

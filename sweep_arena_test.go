@@ -1,12 +1,14 @@
 package patch
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"runtime"
 	"strings"
 	"testing"
 
+	"patch/internal/sim"
 	"patch/internal/workload"
 )
 
@@ -161,5 +163,46 @@ func TestRunReplicaTraceReplayReleasedOnSuccess(t *testing.T) {
 	}
 	if n := mappingsFor(t, path); n != 0 {
 		t.Errorf("closed worker left %d mapping(s) of the trace replay", n)
+	}
+}
+
+// TestRunReplicaFailedFaultedRunRecovers: a faulted replica that fails
+// mid-run leaves in-flight state (and a live injector) Reset cannot
+// rewind, so the worker must drop the arena exactly as on an unfaulted
+// failure — surfacing the typed diagnostic error — and the next
+// replica must rebuild fresh and succeed, so one poisoned faulted cell
+// cannot wedge a farm worker's arena reuse.
+func TestRunReplicaFailedFaultedRunRecovers(t *testing.T) {
+	w := &sweepWorker{}
+	defer w.Close()
+	ok := Config{
+		Protocol: PATCH, Variant: VariantAll, Cores: 8,
+		OpsPerCore: 60, Workload: "micro", Seed: 3,
+		FaultPlan: enabledPlan(),
+	}
+	if _, err := w.RunReplica(ok); err != nil {
+		t.Fatalf("priming faulted replica failed: %v", err)
+	}
+	if w.sys == nil {
+		t.Fatal("successful faulted replica did not adopt the System for reuse")
+	}
+	bad := ok
+	// Enough work that the run cannot finish inside the engine's first
+	// event chunk, so the 1-cycle watchdog trips with state in flight.
+	bad.OpsPerCore = 100_000
+	bad.MaxCycles = 1
+	err := func() error { _, err := w.RunReplica(bad); return err }()
+	if err == nil {
+		t.Fatal("RunReplica succeeded with a 1-cycle watchdog; want failure")
+	}
+	var re *sim.RunError
+	if !errors.As(err, &re) {
+		t.Fatalf("faulted failure is %T, want *sim.RunError: %v", err, err)
+	}
+	if w.sys != nil {
+		t.Fatal("failed faulted Run left the System adopted in the worker")
+	}
+	if _, err := w.RunReplica(ok); err != nil {
+		t.Fatalf("worker did not recover after the faulted failure: %v", err)
 	}
 }

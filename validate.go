@@ -52,6 +52,11 @@ var (
 	// ErrTransformConflict reports a Matrix spelling the same transform
 	// both as a function and as a registered name.
 	ErrTransformConflict = errors.New("matrix sets both the function and the named form of a transform")
+	// ErrBadFaultPlan reports a fault-injection plan outside the sane
+	// parameter envelope (negative or absurd jitter, inverted windows,
+	// multiplier below 1, link fraction outside [0, 1], burst duration
+	// exceeding its period).
+	ErrBadFaultPlan = errors.New("invalid fault plan")
 )
 
 // Validate checks the configuration against the simulator's actual
@@ -108,6 +113,54 @@ func (c Config) Validate() error {
 	}
 	if c.TenureTimeoutFactor < 0 {
 		return fmt.Errorf("patch: %w: got %g", ErrBadTenureFactor, c.TenureTimeoutFactor)
+	}
+	if err := c.FaultPlan.validate(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// maxFaultDelay bounds every per-crossing fault parameter. Well past
+// any latency worth simulating, but small enough that a hostile plan
+// cannot overflow cycle arithmetic or wedge the watchdog.
+const maxFaultDelay = 1 << 20
+
+// validate checks one fault plan's parameter envelope. A nil plan is
+// valid (no injection).
+func (p *FaultPlan) validate() error {
+	if p == nil {
+		return nil
+	}
+	if p.HopJitter < 0 || p.HopJitter > maxFaultDelay {
+		return fmt.Errorf("patch: %w: hop_jitter %d outside [0, %d]",
+			ErrBadFaultPlan, p.HopJitter, maxFaultDelay)
+	}
+	if len(p.Degrade) > 64 {
+		return fmt.Errorf("patch: %w: %d degrade windows (max 64)", ErrBadFaultPlan, len(p.Degrade))
+	}
+	for i, w := range p.Degrade {
+		if w.Multiplier < 1 || w.Multiplier > maxFaultDelay {
+			return fmt.Errorf("patch: %w: degrade[%d] multiplier %d outside [1, %d]",
+				ErrBadFaultPlan, i, w.Multiplier, maxFaultDelay)
+		}
+		if w.FromCycle > w.ToCycle {
+			return fmt.Errorf("patch: %w: degrade[%d] window [%d, %d] is inverted",
+				ErrBadFaultPlan, i, w.FromCycle, w.ToCycle)
+		}
+		if !(w.LinkFraction >= 0 && w.LinkFraction <= 1) {
+			return fmt.Errorf("patch: %w: degrade[%d] link_fraction %g outside [0, 1]",
+				ErrBadFaultPlan, i, w.LinkFraction)
+		}
+	}
+	if b := p.Burst; b != nil {
+		if b.ExtraCycles < 0 || b.ExtraCycles > maxFaultDelay {
+			return fmt.Errorf("patch: %w: burst extra_cycles %d outside [0, %d]",
+				ErrBadFaultPlan, b.ExtraCycles, maxFaultDelay)
+		}
+		if b.Duration > b.Period {
+			return fmt.Errorf("patch: %w: burst duration %d exceeds period %d",
+				ErrBadFaultPlan, b.Duration, b.Period)
+		}
 	}
 	return nil
 }
